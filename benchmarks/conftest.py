@@ -1,0 +1,85 @@
+"""Shared fixtures and helpers for the experiment benchmarks.
+
+Every benchmark regenerates one table or figure of the paper's Section 7.
+Workload bundles are session-scoped (generation is the expensive part and
+is identical across benches); each bench prints the paper's rows next to
+the measured values and asserts the qualitative shape.
+
+Scale note (see DESIGN.md): cardinalities are laptop-sized stand-ins for
+the paper's full TPC datasets — e.g. Figure 5's "128 warehouses" runs at
+16 warehouses here, with partition counts swept up to the warehouse count
+just as the paper sweeps to 128. Shapes, not absolute values, are the
+reproduction target.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace import train_test_split
+from repro.workloads.auctionmark import AuctionMarkBenchmark, AuctionMarkConfig
+from repro.workloads.seats import SeatsBenchmark, SeatsConfig
+from repro.workloads.tatp import TatpBenchmark, TatpConfig
+from repro.workloads.tpcc import TpccBenchmark, TpccConfig
+from repro.workloads.tpce import TpceBenchmark, TpceConfig
+
+
+def split(bundle, fraction=0.5):
+    return train_test_split(bundle.trace, fraction)
+
+
+@pytest.fixture(scope="session")
+def tpcc_small():
+    """Figure-5 stand-in for the 128-warehouse database."""
+    return TpccBenchmark(TpccConfig(warehouses=16)).generate(
+        4000, seed=11
+    )
+
+
+@pytest.fixture(scope="session")
+def tpcc_large():
+    """Figure-6 stand-in for the 1024-warehouse database."""
+    return TpccBenchmark(
+        TpccConfig(
+            warehouses=32,
+            districts_per_warehouse=2,
+            customers_per_district=15,
+            initial_orders_per_district=8,
+        )
+    ).generate(5000, seed=13)
+
+
+@pytest.fixture(scope="session")
+def tpce_bundle():
+    return TpceBenchmark(TpceConfig()).generate(3000, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tatp_bundle():
+    return TatpBenchmark(TatpConfig(subscribers=1500)).generate(3000, seed=5)
+
+
+@pytest.fixture(scope="session")
+def seats_bundle():
+    return SeatsBenchmark(SeatsConfig()).generate(2500, seed=9)
+
+
+@pytest.fixture(scope="session")
+def auctionmark_bundle():
+    return AuctionMarkBenchmark(AuctionMarkConfig()).generate(2500, seed=9)
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Render one experiment table to stdout (visible with pytest -s)."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows)) if rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def pct(x: float) -> str:
+    return f"{x:.1%}"

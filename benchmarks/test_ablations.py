@@ -1,0 +1,140 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. Implicit-join discovery (Section 5.1): without SELECT-clause attrs,
+   procedures whose joins are threaded through variables lose their join
+   graphs.
+2. Partial solutions (Section 5): without them, tables only accessed by
+   not-fully-partitionable classes (TPC-C's WAREHOUSE via Payment) end up
+   replicated and their writes make everything distributed.
+3. Cost models (Section 8): the simple fraction-distributed objective vs
+   the richer models over the same solutions.
+"""
+
+from repro.core import JECBConfig, JECBPartitioner
+from repro.core.phase2 import Phase2Config
+from repro.evaluation import PartitioningEvaluator
+from repro.evaluation.cost_models import (
+    FractionDistributed,
+    SitesTouched,
+    WeightedLatency,
+    evaluate_model,
+)
+from repro.procedures import ProcedureCatalog, StoredProcedure
+
+from conftest import pct, print_table, split
+
+
+def test_ablation_implicit_joins(tpcc_small, benchmark):
+    """Rewire TPC-C's OrderStatus-style variable threading through a
+    two-statement procedure and show implicit discovery matters."""
+    from repro.sql import analyze_procedure
+    from repro.core.join_graph import JoinGraph
+
+    def build():
+        schema = tpcc_small.database.schema
+        procedure = StoredProcedure(
+            "ImplicitPair",
+            params=["o"],
+            statements={
+                "a": """
+                    SELECT @c = O_C_ID FROM ORDERS
+                    WHERE O_W_ID = @w AND O_D_ID = @d AND O_ID = @o
+                """,
+                "b": """
+                    SELECT C_BALANCE FROM CUSTOMER
+                    WHERE C_W_ID = @w AND C_D_ID = @d AND C_ID = @c
+                """,
+            },
+        )
+        analysis = analyze_procedure(procedure.statements, schema)
+        with_implicit = JoinGraph.from_analysis(
+            schema, analysis, set(), include_implicit=True
+        )
+        without = JoinGraph.from_analysis(
+            schema, analysis, set(), include_implicit=False
+        )
+        return with_implicit, without
+
+    with_implicit, without = benchmark.pedantic(build, rounds=1, iterations=1)
+    print_table(
+        "Ablation: implicit-join discovery",
+        ["variant", "FK edges", "roots"],
+        [
+            ["with implicit joins", len(with_implicit.fks),
+             len(with_implicit.find_roots())],
+            ["without", len(without.fks), len(without.find_roots())],
+        ],
+    )
+    assert any(
+        fk.table == "ORDERS" and fk.ref_table == "CUSTOMER"
+        for fk in with_implicit.fks
+    )
+    assert not any(
+        fk.table == "ORDERS" and fk.ref_table == "CUSTOMER"
+        for fk in without.fks
+    )
+
+
+def test_ablation_partial_solutions(tpcc_small, benchmark):
+    """Without partial solutions TPC-C's WAREHOUSE gets no placement."""
+
+    def run():
+        train, test = split(tpcc_small)
+        evaluator = PartitioningEvaluator(tpcc_small.database)
+        out = {}
+        for label, mine in (("with partials", True), ("without", False)):
+            config = JECBConfig(num_partitions=8)
+            config.phase2 = Phase2Config(mine_partial_solutions=mine)
+            result = JECBPartitioner(
+                tpcc_small.database, tpcc_small.catalog, config
+            ).run(train)
+            out[label] = (
+                evaluator.cost(result.partitioning, test),
+                result.partitioning.solution_for("WAREHOUSE").replicated,
+            )
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: partial solutions (TPC-C, k=8)",
+        ["variant", "cost", "WAREHOUSE replicated?"],
+        [[k, pct(v[0]), v[1]] for k, v in out.items()],
+    )
+    with_cost, with_replicated = out["with partials"]
+    without_cost, without_replicated = out["without"]
+    assert not with_replicated
+    assert without_replicated  # only partial solutions cover WAREHOUSE
+    # Payment (43%) writes the replicated WAREHOUSE -> huge cost without
+    assert without_cost > with_cost + 0.3
+
+
+def test_ablation_cost_models(tpcc_small, benchmark):
+    """The richer Section-8 cost models rank the same solutions consistently."""
+
+    def run():
+        train, test = split(tpcc_small)
+        good = JECBPartitioner(
+            tpcc_small.database, tpcc_small.catalog, JECBConfig(num_partitions=8)
+        ).run(train).partitioning
+        from repro.workloads.tpcc import warehouse_partitioning
+        from repro.baselines.published import build_spec_partitioning
+
+        bad = build_spec_partitioning(
+            tpcc_small.database.schema, 8, {"CUSTOMER": "C_ID"}, name="bad"
+        )
+        scores = {}
+        for model in (FractionDistributed(), SitesTouched(), WeightedLatency()):
+            scores[model.name] = (
+                evaluate_model(model, good, test, tpcc_small.database),
+                evaluate_model(model, bad, test, tpcc_small.database),
+            )
+        return scores
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: cost models (good = JECB, bad = customer-only hash)",
+        ["model", "good solution", "bad solution"],
+        [[name, f"{g:.3f}", f"{b:.3f}"] for name, (g, b) in scores.items()],
+    )
+    for name, (good_score, bad_score) in scores.items():
+        assert good_score < bad_score, name

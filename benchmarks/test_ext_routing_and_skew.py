@@ -1,0 +1,79 @@
+"""Extension benches: runtime routing quality and Section-8 skew packing.
+
+Not paper tables — these quantify the two runtime-facing claims the paper
+makes in prose: (Section 3) a mapping-independent partitioning routes
+almost all calls to a single partition through lookup tables, and
+(Section 8) over-partitioning plus heat-aware bin packing evens out
+skewed node loads.
+"""
+
+import random
+
+from repro.core import JECBConfig, JECBPartitioner
+from repro.core.skew import overpartition_and_pack, partition_heat, pack_partitions
+from repro.routing import Router
+from repro.trace import train_test_split
+
+from conftest import pct, print_table
+
+
+def test_ext_routing_single_partition_fraction(tatp_bundle, benchmark):
+    def run():
+        train, _test = train_test_split(tatp_bundle.trace, 0.5)
+        result = JECBPartitioner(
+            tatp_bundle.database, tatp_bundle.catalog, JECBConfig(num_partitions=8)
+        ).run(train)
+        router = Router(
+            tatp_bundle.database, tatp_bundle.catalog, result.partitioning
+        )
+        rng = random.Random(3)
+        calls = [
+            ("GetSubscriberData", {"s_id": rng.randint(1, 1500)})
+            for _ in range(300)
+        ] + [
+            ("GetNewDestination", {
+                "s_id": rng.randint(1, 1500),
+                "sf_type": rng.randint(1, 3),
+                "start_time": 8,
+            })
+            for _ in range(300)
+        ]
+        return router.route_summary(calls)
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Extension: router outcomes on TATP under the JECB partitioning",
+        ["single-partition", "multi", "broadcast"],
+        [[summary.single_partition, summary.multi_partition, summary.broadcast]],
+    )
+    assert summary.single_partition_fraction > 0.95
+
+
+def test_ext_skew_packing(tatp_bundle, benchmark):
+    def run():
+        trace = tatp_bundle.trace
+        nodes = 4
+        results = {}
+        for k, label in ((4, "k=nodes"), (32, "k=8x nodes")):
+            result = JECBPartitioner(
+                tatp_bundle.database, tatp_bundle.catalog,
+                JECBConfig(num_partitions=k),
+            ).run(trace)
+            heat = partition_heat(result.partitioning, trace, tatp_bundle.database)
+            if k == nodes:
+                placement = pack_partitions(heat, nodes)
+            else:
+                placement = overpartition_and_pack(
+                    result.partitioning, trace, tatp_bundle.database, nodes
+                )
+            results[label] = placement
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Extension: Section-8 over-partition + LPT packing (4 nodes)",
+        ["configuration", "max/avg load"],
+        [[label, f"{p.imbalance:.3f}"] for label, p in results.items()],
+    )
+    assert results["k=8x nodes"].imbalance <= results["k=nodes"].imbalance + 1e-9
+    assert results["k=8x nodes"].imbalance < 1.05

@@ -1,0 +1,114 @@
+"""Table 3: TPC-E transaction classes and the solutions JECB finds.
+
+Paper's rows (root attributes of total / partial solutions):
+
+    Broker-Volume        4.9%   No                 No
+    Customer-Position    13%    CA_C_ID            No
+    Market-Feed          1%     No                 No
+    Market-Watch         18%    HS_CA_ID           No
+    Security-Detail      14%    Read-only          Read-only
+    Trade-Lookup Frame1  2.4%   No                 No
+    Trade-Lookup Frame2  2.4%   CA_ID              No
+    Trade-Lookup Frame3  2.4%   T_S_SYMB or T_DTS  No
+    Trade-Lookup Frame4  0.8%   CA_ID or T_DTS     No
+    Trade-Order          10.1%  B_ID               CA_ID
+    Trade-Result         10.0%  B_ID               CA_ID
+    Trade-Status         19.0%  B_ID               CA_ID
+    Trade-Update Frame1  0.66%  No                 No
+    Trade-Update Frame2  0.67%  CA_ID or T_DTS     No
+    Trade-Update Frame3  0.67%  T_S_SYMB or T_DTS  No
+"""
+
+from repro.core import JECBConfig, JECBPartitioner
+
+from conftest import print_table, split
+
+PAPER_TOTAL = {
+    "Broker-Volume": set(),
+    "Customer-Position": {"CA_C_ID"},
+    "Market-Feed": set(),
+    "Market-Watch": {"HS_CA_ID"},
+    "Trade-Lookup-Frame1": set(),
+    "Trade-Lookup-Frame2": {"CA_ID"},
+    "Trade-Lookup-Frame3": {"T_S_SYMB", "T_DTS"},
+    "Trade-Lookup-Frame4": {"CA_ID", "T_DTS"},
+    "Trade-Order": {"B_ID"},
+    "Trade-Result": {"B_ID"},
+    "Trade-Status": {"B_ID"},
+    "Trade-Update-Frame1": set(),
+    "Trade-Update-Frame2": {"CA_ID", "T_DTS"},
+    "Trade-Update-Frame3": {"T_S_SYMB", "T_DTS"},
+}
+
+#: classes whose partial solutions include the account-id class
+PAPER_PARTIAL_CA = {"Trade-Order", "Trade-Result", "Trade-Status"}
+
+#: attributes equivalent to CA_ID through foreign keys (the paper prints
+#: the class representative; our trees may root at any member)
+CA_CLASS = {"CA_ID", "T_CA_ID", "HS_CA_ID", "H_CA_ID"}
+B_CLASS = {"B_ID", "CA_B_ID", "TR_B_ID"}
+SYMB_CLASS = {"T_S_SYMB", "S_SYMB", "TR_S_SYMB", "HS_S_SYMB"}
+
+
+def canonical(column: str) -> str:
+    if column in CA_CLASS:
+        return "CA_ID"
+    if column in B_CLASS:
+        return "B_ID"
+    if column in SYMB_CLASS:
+        return "T_S_SYMB"
+    return column
+
+
+def run_phase2(bundle):
+    train, _test = split(bundle)
+    return JECBPartitioner(
+        bundle.database, bundle.catalog, JECBConfig(num_partitions=8)
+    ).run(train)
+
+
+def test_tab3(tpce_bundle, benchmark):
+    result = benchmark.pedantic(
+        run_phase2, args=(tpce_bundle,), rounds=1, iterations=1
+    )
+    rows = []
+    found = {}
+    for class_result in result.class_results:
+        if class_result.read_only:
+            rows.append([class_result.class_name, "Read-only", "Read-only"])
+            continue
+        totals = {canonical(r.column) for r in class_result.total_roots}
+        partials = {canonical(r.column) for r in class_result.partial_roots}
+        found[class_result.class_name] = (totals, partials)
+        rows.append(
+            [
+                class_result.class_name,
+                " or ".join(sorted(totals)) or "No",
+                " or ".join(sorted(partials)) or "No",
+            ]
+        )
+    print_table(
+        "Table 3: TPC-E solutions found by JECB (canonical attr classes)",
+        ["class", "total solutions", "partial solutions"],
+        rows,
+    )
+
+    # Security-Detail only touches read-only tables.
+    names = [r.class_name for r in result.class_results]
+    assert "Security-Detail" in names
+    assert result.class_result("Security-Detail").read_only
+
+    for class_name, expected in PAPER_TOTAL.items():
+        totals, _ = found[class_name]
+        if not expected:
+            assert not totals, class_name
+        else:
+            # the paper's roots must be among ours (CA_C_ID finer variants
+            # collapse onto CA_ID's class representative choice)
+            canon_expected = {canonical(e) for e in expected}
+            assert canon_expected & totals or canon_expected == totals, (
+                class_name, expected, totals,
+            )
+    for class_name in PAPER_PARTIAL_CA:
+        _, partials = found[class_name]
+        assert "CA_ID" in partials, class_name

@@ -1,0 +1,64 @@
+"""TPC-E case study: reproduce the paper's Section 7.5 analysis.
+
+Runs JECB on the full 33-table TPC-E workload and prints
+
+* per-class total/partial solutions (paper Table 3),
+* the Phase-3 candidate attributes and search-space reduction (Example 10),
+* the final per-table placements (Table 4), and
+* per-class distributed-transaction rates for both JECB's solution and
+  Horticulture's published solution (Figures 8 and 9).
+
+Run:  python examples/tpce_study.py
+"""
+
+from repro import JECBConfig, JECBPartitioner, PartitioningEvaluator
+from repro.baselines.published import build_spec_partitioning
+from repro.trace import train_test_split
+from repro.workloads.tpce import HORTICULTURE_SPEC, TpceBenchmark, TpceConfig
+
+
+def main() -> None:
+    print("Generating TPC-E workload (33 tables, 15 transaction classes)...")
+    bundle = TpceBenchmark(TpceConfig()).generate(
+        num_transactions=3000, seed=3
+    )
+    training, testing = train_test_split(bundle.trace, 0.5)
+    database = bundle.database
+    print(f"  {database.row_count()} rows, {len(bundle.trace)} transactions")
+
+    partitioner = JECBPartitioner(
+        database, bundle.catalog, JECBConfig(num_partitions=8)
+    )
+    result = partitioner.run(training)
+
+    print("\n=== Table 3: transaction classes and solutions found ===")
+    print(result.solutions_table())
+
+    print("\n=== Example 10: search-space reduction ===")
+    print(result.phase3.summary())
+
+    print("\n=== Table 4: final placements ===")
+    print(result.placements_table())
+
+    evaluator = PartitioningEvaluator(database)
+    jecb_report = evaluator.evaluate(result.partitioning, testing)
+    hc = build_spec_partitioning(
+        database.schema, 8, HORTICULTURE_SPEC, name="horticulture-published"
+    )
+    hc_report = evaluator.evaluate(hc, testing)
+
+    print("\n=== Figures 8 and 9: per-class distributed transactions ===")
+    print(f"{'class':24} {'JECB':>8} {'Horticulture':>13}")
+    for name in sorted(jecb_report.per_class_total):
+        print(
+            f"{name:24} {jecb_report.class_cost(name):8.0%} "
+            f"{hc_report.class_cost(name):13.0%}"
+        )
+    print(
+        f"\noverall: JECB {jecb_report.cost:.1%} (paper: 21%), "
+        f"Horticulture {hc_report.cost:.1%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Baseline partitioners the paper compares against.
+
+* :mod:`repro.baselines.schism` — Schism [Curino et al., VLDB'10]: tuple
+  co-access graph, k-way min-cut, and a per-table decision-tree
+  "explanation" phase that generalizes to unseen tuples.
+* :mod:`repro.baselines.horticulture` — Horticulture [Pavlo et al.,
+  SIGMOD'12]: schema-driven large-neighborhood search over per-table
+  (attribute | replicate) choices with a skew-aware cost model. The paper
+  applied Horticulture's *published* solutions directly; those are in
+  :mod:`repro.baselines.published`.
+"""
+
+from repro.baselines.schism import SchismConfig, SchismPartitioner, SchismResult
+from repro.baselines.horticulture import (
+    HorticultureConfig,
+    HorticulturePartitioner,
+    HorticultureResult,
+)
+from repro.baselines.classifier import DecisionTree
+
+__all__ = [
+    "SchismPartitioner",
+    "SchismConfig",
+    "SchismResult",
+    "HorticulturePartitioner",
+    "HorticultureConfig",
+    "HorticultureResult",
+    "DecisionTree",
+]

@@ -1,0 +1,149 @@
+"""A small CART-style decision tree for Schism's explanation phase.
+
+Schism feeds the min-cut assignment of *seen* tuples to a classifier that
+produces per-table range rules ("tuples with key in [a, b) -> partition
+p"), so that tuples outside the training trace can be routed too. The
+important behaviour — faithfully reproduced here — is that the rules only
+generalize well when the min-cut partitions happen to align with key
+ranges; when they do not (or when coverage is low), unseen tuples are
+effectively routed at random, which is exactly the error source the paper
+identifies on TATP (Section 7.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import PartitioningError
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    label: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _majority(labels: Sequence[int]) -> int:
+    counts: dict[int, int] = {}
+    for label in labels:
+        counts[label] = counts.get(label, 0) + 1
+    return max(sorted(counts), key=lambda lb: counts[lb])
+
+
+def _gini(labels: Sequence[int]) -> float:
+    n = len(labels)
+    if n == 0:
+        return 0.0
+    counts: dict[int, int] = {}
+    for label in labels:
+        counts[label] = counts.get(label, 0) + 1
+    return 1.0 - sum((c / n) ** 2 for c in counts.values())
+
+
+class DecisionTree:
+    """Axis-aligned binary decision tree over numeric feature vectors."""
+
+    def __init__(self, max_depth: int = 12, min_samples: int = 4) -> None:
+        self.max_depth = max_depth
+        self.min_samples = min_samples
+        self._root: _Node | None = None
+        self.num_features = 0
+
+    def fit(
+        self, features: list[tuple[float, ...]], labels: list[int]
+    ) -> "DecisionTree":
+        if not features:
+            raise PartitioningError("cannot train a classifier on no samples")
+        if len(features) != len(labels):
+            raise PartitioningError("features/labels length mismatch")
+        self.num_features = len(features[0])
+        indices = list(range(len(features)))
+        self._features = features
+        self._labels = labels
+        self._root = self._build(indices, depth=0)
+        del self._features, self._labels
+        return self
+
+    def _build(self, indices: list[int], depth: int) -> _Node:
+        labels = [self._labels[i] for i in indices]
+        if (
+            depth >= self.max_depth
+            or len(indices) < self.min_samples
+            or len(set(labels)) == 1
+        ):
+            return _Node(label=_majority(labels))
+        best = None  # (impurity, feature, threshold, left_idx, right_idx)
+        parent_impurity = _gini(labels)
+        for feature in range(self.num_features):
+            ordered = sorted(indices, key=lambda i: self._features[i][feature])
+            values = [self._features[i][feature] for i in ordered]
+            # Candidate thresholds: every distinct-value boundary, evenly
+            # subsampled when there are too many.
+            boundaries = [
+                pos
+                for pos in range(1, len(ordered))
+                if values[pos] != values[pos - 1]
+            ]
+            if len(boundaries) > 64:
+                stride = len(boundaries) / 64.0
+                boundaries = [
+                    boundaries[int(i * stride)] for i in range(64)
+                ]
+            for pos in boundaries:
+                threshold = (values[pos] + values[pos - 1]) / 2.0
+                left = ordered[:pos]
+                right = ordered[pos:]
+                impurity = (
+                    len(left) * _gini([self._labels[i] for i in left])
+                    + len(right) * _gini([self._labels[i] for i in right])
+                ) / len(ordered)
+                if best is None or impurity < best[0]:
+                    best = (impurity, feature, threshold, left, right)
+        if best is None or best[0] >= parent_impurity - 1e-9:
+            return _Node(label=_majority(labels))
+        _, feature, threshold, left_idx, right_idx = best
+        return _Node(
+            feature=feature,
+            threshold=threshold,
+            left=self._build(left_idx, depth + 1),
+            right=self._build(right_idx, depth + 1),
+            label=_majority(labels),
+        )
+
+    def predict(self, feature_vector: Sequence[float]) -> int:
+        if self._root is None:
+            raise PartitioningError("classifier is not trained")
+        node = self._root
+        while not node.is_leaf:
+            assert node.left is not None and node.right is not None
+            if feature_vector[node.feature] <= node.threshold:
+                node = node.left
+            else:
+                node = node.right
+        return node.label
+
+    def depth(self) -> int:
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+    def leaf_count(self) -> int:
+        def walk(node: _Node | None) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        return walk(self._root)

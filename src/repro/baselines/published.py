@@ -1,0 +1,60 @@
+"""Build partitionings from declarative per-table specs.
+
+The paper did not re-run Horticulture's search; it applied the *published*
+solutions from Pavlo et al. (Section 7.1: "we directly apply the
+partitioning solution found in [17]"). Workload modules ship those specs
+as ``{table: column-or-None}`` dicts (None = replicate) and this module
+turns a spec into a :class:`DatabasePartitioning`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.join_path import JoinPath
+from repro.core.mapping import HashMapping, MappingFunction
+from repro.core.solution import DatabasePartitioning, TableSolution
+from repro.errors import PartitioningError
+from repro.schema.attribute import Attr
+from repro.schema.database import DatabaseSchema
+
+
+def intra_table_path(
+    schema: DatabaseSchema, table: str, column: str
+) -> JoinPath:
+    """The Definition-2 path from ``key(table)`` to one of its own columns."""
+    pk_attrs = schema.primary_key_attrs(table)
+    target = Attr(table, column)
+    if not schema.table(table).has_column(column):
+        raise PartitioningError(f"no column {column!r} in table {table}")
+    if pk_attrs == frozenset({target}):
+        return JoinPath((frozenset({target}),), ())
+    return JoinPath.build(schema, [pk_attrs, [target]])
+
+
+def build_spec_partitioning(
+    schema: DatabaseSchema,
+    num_partitions: int,
+    spec: Mapping[str, str | None],
+    mapping: MappingFunction | None = None,
+    name: str = "published",
+) -> DatabasePartitioning:
+    """Materialize a per-table spec into a partitioning.
+
+    Tables in *spec* mapped to a column are hash-partitioned on that
+    column (via the intra-table join path); tables mapped to ``None`` and
+    tables absent from the spec are replicated.
+    """
+    mapping = mapping or HashMapping(num_partitions)
+    partitioning = DatabasePartitioning(num_partitions, name=name)
+    for table in schema.table_names:
+        column = spec.get(table)
+        if column is None:
+            partitioning.set(TableSolution(table))
+        else:
+            partitioning.set(
+                TableSolution(
+                    table, intra_table_path(schema, table, column), mapping
+                )
+            )
+    return partitioning

@@ -1,0 +1,251 @@
+"""Per-transaction-class join graphs (Phase 2, Step 1) and their splitting.
+
+The join graph of a transaction class connects the tables its SQL accesses
+through the key--foreign-key joins the code justifies:
+
+* **explicit joins** — column equalities in ON/WHERE clauses that match a
+  schema foreign key, and
+* **implicit joins** — foreign keys whose two endpoints both appear among
+  the procedure's SELECT/WHERE attributes (Example 3: a value selected by
+  one query feeds another query's WHERE through a variable).
+
+Implicit discovery may admit false positives; those are pruned later by the
+trace-driven mapping-independence test (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.schema.attribute import Attr
+from repro.schema.database import DatabaseSchema
+from repro.schema.table import ForeignKey
+from repro.sql.analyzer import StatementAnalysis
+from repro.core.pathfinder import enumerate_paths, reachable_attrs
+from repro.core.join_path import JoinPath
+
+
+@dataclass
+class JoinGraph:
+    """Tables of one transaction class connected by justified foreign keys."""
+
+    schema: DatabaseSchema
+    tables: frozenset[str]
+    partitioned_tables: frozenset[str]
+    fks: tuple[ForeignKey, ...]
+    attr_pool: frozenset[Attr]
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_analysis(
+        cls,
+        schema: DatabaseSchema,
+        analysis: StatementAnalysis,
+        replicated: Iterable[str],
+        include_implicit: bool = True,
+    ) -> "JoinGraph":
+        """Build the class's join graph from its static SQL analysis.
+
+        *replicated* lists the read-only/read-mostly tables from Phase 1;
+        they participate as join-path way stations but need no partitioning.
+        Setting ``include_implicit=False`` disables SELECT-clause implicit
+        join discovery (used by the ablation benchmarks).
+        """
+        tables = frozenset(analysis.tables)
+        replicated_set = set(replicated)
+        partitioned = frozenset(t for t in tables if t not in replicated_set)
+        accessed_attrs = analysis.accessed_attrs
+
+        fks: list[ForeignKey] = []
+        for fk in schema.foreign_keys():
+            if fk.table not in tables or fk.ref_table not in tables:
+                continue
+            if cls._explicitly_joined(fk, analysis.explicit_joins):
+                fks.append(fk)
+            elif include_implicit and cls._implicitly_joined(fk, accessed_attrs):
+                fks.append(fk)
+
+        # Candidate partitioning attributes come from WHERE clauses only
+        # (Section 5.1); SELECT attributes participate in implicit-join
+        # discovery above but are not partitioning candidates themselves.
+        pool: set[Attr] = set(analysis.where_attrs)
+        for fk in fks:
+            pool |= {Attr(fk.table, c) for c in fk.columns}
+            pool |= {Attr(fk.ref_table, c) for c in fk.ref_columns}
+        for table in tables:
+            pool |= set(schema.primary_key_attrs(table))
+        return cls(schema, tables, partitioned, tuple(fks), frozenset(pool))
+
+    @staticmethod
+    def _explicitly_joined(
+        fk: ForeignKey, joins: set[frozenset[Attr]]
+    ) -> bool:
+        """Every FK component pair must appear as an explicit equality."""
+        for src_col, dst_col in zip(fk.columns, fk.ref_columns):
+            pair = frozenset(
+                {Attr(fk.table, src_col), Attr(fk.ref_table, dst_col)}
+            )
+            if pair not in joins:
+                return False
+        return True
+
+    @staticmethod
+    def _implicitly_joined(fk: ForeignKey, attrs: set[Attr]) -> bool:
+        """Both endpoints of every component appear among accessed attrs."""
+        for src_col, dst_col in zip(fk.columns, fk.ref_columns):
+            if Attr(fk.table, src_col) not in attrs:
+                return False
+            if Attr(fk.ref_table, dst_col) not in attrs:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _fk_allowed(self, fk: ForeignKey) -> bool:
+        return fk in self.fks
+
+    def find_roots(self) -> list[Attr]:
+        """Root attributes: reachable from every partitioned table's PK.
+
+        Returns a deterministic (sorted) list; empty means Case 2 of
+        Section 5.2 — the graph must be split.
+        """
+        if not self.partitioned_tables:
+            return []
+        common: set[Attr] | None = None
+        for table in sorted(self.partitioned_tables):
+            source = frozenset(self.schema.primary_key_attrs(table))
+            reach = reachable_attrs(
+                self.schema, source, self._fk_allowed, self.attr_pool
+            )
+            common = reach if common is None else (common & reach)
+            if not common:
+                return []
+        return sorted(common or ())
+
+    def paths_to(self, root: Attr, max_paths: int = 64) -> dict[str, list[JoinPath]]:
+        """All join paths from each partitioned table's PK to *root*."""
+        out: dict[str, list[JoinPath]] = {}
+        for table in sorted(self.partitioned_tables):
+            source = frozenset(self.schema.primary_key_attrs(table))
+            out[table] = enumerate_paths(
+                self.schema,
+                source,
+                root,
+                self._fk_allowed,
+                self.attr_pool,
+                max_paths=max_paths,
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Case-2 splitting
+    # ------------------------------------------------------------------
+    def connected_components(self) -> list[frozenset[str]]:
+        """Partitioned-table components under the graph's FK edges."""
+        adjacency: dict[str, set[str]] = {t: set() for t in self.tables}
+        for fk in self.fks:
+            adjacency[fk.table].add(fk.ref_table)
+            adjacency[fk.ref_table].add(fk.table)
+        components: list[frozenset[str]] = []
+        seen: set[str] = set()
+        for start in sorted(self.tables):
+            if start in seen:
+                continue
+            stack = [start]
+            comp: set[str] = set()
+            while stack:
+                node = stack.pop()
+                if node in comp:
+                    continue
+                comp.add(node)
+                stack.extend(adjacency[node] - comp)
+            seen |= comp
+            components.append(frozenset(comp))
+        return components
+
+    def restrict(self, tables: Iterable[str]) -> "JoinGraph":
+        """Sub-graph over *tables* with the induced foreign keys."""
+        subset = frozenset(tables)
+        fks = tuple(
+            fk for fk in self.fks if fk.table in subset and fk.ref_table in subset
+        )
+        return JoinGraph(
+            self.schema,
+            subset,
+            self.partitioned_tables & subset,
+            fks,
+            self.attr_pool,
+        )
+
+    def split(self) -> list["JoinGraph"]:
+        """Section 5.2 Case-2 splitting into solvable sub-graphs.
+
+        First split into connected components; then, inside a component, an
+        *m-to-n* pivot — a partitioned table with foreign keys into two or
+        more other partitioned tables — splits the component into one
+        sub-graph per outgoing side (each keeps the pivot table).
+        """
+        out: list[JoinGraph] = []
+        for component in self.connected_components():
+            if not (component & self.partitioned_tables):
+                continue
+            sub = self.restrict(component)
+            pivot = sub._find_m_to_n_pivot()
+            if pivot is None:
+                out.append(sub)
+                continue
+            out.extend(sub._split_at(pivot))
+        return out
+
+    def _find_m_to_n_pivot(self) -> str | None:
+        for table in sorted(self.partitioned_tables & self.tables):
+            targets = {
+                fk.ref_table
+                for fk in self.fks
+                if fk.table == table
+                and fk.ref_table in self.partitioned_tables
+                and fk.ref_table != table
+            }
+            if len(targets) >= 2:
+                return table
+        return None
+
+    def _split_at(self, pivot: str) -> list["JoinGraph"]:
+        """One sub-graph per FK side leaving the m-to-n *pivot* table."""
+        sides = sorted(
+            {
+                fk.ref_table
+                for fk in self.fks
+                if fk.table == pivot and fk.ref_table in self.partitioned_tables
+            }
+        )
+        out: list[JoinGraph] = []
+        for side in sides:
+            reachable = self._reach_without(pivot, side)
+            sub = self.restrict(reachable | {pivot})
+            # Recurse: the side itself may still contain an m-to-n pivot.
+            out.extend(sub.split())
+        return out
+
+    def _reach_without(self, pivot: str, start: str) -> set[str]:
+        """Tables connected to *start* when *pivot* is removed."""
+        adjacency: dict[str, set[str]] = {t: set() for t in self.tables}
+        for fk in self.fks:
+            if pivot in (fk.table, fk.ref_table):
+                continue
+            adjacency[fk.table].add(fk.ref_table)
+            adjacency[fk.ref_table].add(fk.table)
+        seen: set[str] = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adjacency[node] - seen)
+        return seen

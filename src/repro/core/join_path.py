@@ -1,0 +1,252 @@
+"""Join paths — Definition 2 — and path-level compatibility (Definition 13).
+
+A join path is a sequence of attribute sets ``{X_0, ..., X_n}`` where
+
+1. ``X_n`` is a single attribute (the *destination*),
+2. every ``X_i`` lives inside one table, and
+3. consecutive nodes step either *within* a table (then ``X_i`` must be
+   that table's primary key) or *across* a foreign key (then ``X_i`` is a
+   foreign key referencing exactly ``X_{i+1}``).
+
+A path from ``key(T)`` therefore encodes a functional dependency from each
+tuple of ``T`` to one value of the destination attribute — the fact JECB
+exploits to partition ``T`` by an attribute of another table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import JoinPathError
+from repro.schema.attribute import Attr
+from repro.schema.database import DatabaseSchema
+from repro.schema.table import ForeignKey
+
+Node = frozenset  # frozenset[Attr]
+
+
+def _node(attrs: Iterable[Attr]) -> Node:
+    node = frozenset(attrs)
+    if not node:
+        raise JoinPathError("empty attribute set in join path")
+    tables = {a.table for a in node}
+    if len(tables) != 1:
+        raise JoinPathError(f"attribute set spans multiple tables: {sorted(map(str, node))}")
+    return node
+
+
+def node_table(node: Node) -> str:
+    """The table all attributes of *node* belong to."""
+    return next(iter(node)).table
+
+
+@dataclass(frozen=True)
+class Step:
+    """One validated hop of a join path.
+
+    ``kind`` is ``"intra"`` for a within-table move from the primary key to
+    another attribute set, or ``"fk"`` for a key--foreign-key hop; ``fk``
+    carries the schema foreign key in the latter case (its column order
+    defines how values transfer).
+    """
+
+    kind: str
+    fk: ForeignKey | None = None
+
+
+class JoinPath:
+    """An immutable, validated Definition-2 join path.
+
+    Construct with :meth:`build` (validates against a schema) or from
+    another path via :meth:`extend` / :meth:`prefix`.
+    """
+
+    def __init__(self, nodes: Sequence[Node], steps: Sequence[Step]) -> None:
+        self.nodes: tuple[Node, ...] = tuple(nodes)
+        self.steps: tuple[Step, ...] = tuple(steps)
+        if len(self.steps) != len(self.nodes) - 1:
+            raise JoinPathError("steps/nodes length mismatch")
+        self._hash = hash(self.nodes)  # immutable; hashed in hot loops
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls, schema: DatabaseSchema, raw_nodes: Sequence[Iterable[Attr]]
+    ) -> "JoinPath":
+        """Validate *raw_nodes* against *schema* per Definition 2."""
+        if len(raw_nodes) < 1:
+            raise JoinPathError("a join path needs at least one node")
+        nodes = [_node(n) for n in raw_nodes]
+        if len(nodes[-1]) != 1:
+            raise JoinPathError("the destination node must be a single attribute")
+        steps: list[Step] = []
+        for current, nxt in zip(nodes, nodes[1:]):
+            cur_table = node_table(current)
+            nxt_table = node_table(nxt)
+            if cur_table == nxt_table:
+                table_schema = schema.table(cur_table)
+                if not table_schema.is_primary_key(a.column for a in current):
+                    raise JoinPathError(
+                        f"intra-table step in {cur_table} must start at the "
+                        f"primary key, got {sorted(map(str, current))}"
+                    )
+                steps.append(Step("intra"))
+            else:
+                fk = schema.foreign_key_for(current)
+                if fk is None or fk.ref_table != nxt_table:
+                    raise JoinPathError(
+                        f"{sorted(map(str, current))} is not a foreign key "
+                        f"into {nxt_table}"
+                    )
+                expected = frozenset(Attr(fk.ref_table, c) for c in fk.ref_columns)
+                if expected != nxt:
+                    raise JoinPathError(
+                        f"foreign key {fk} does not land on {sorted(map(str, nxt))}"
+                    )
+                steps.append(Step("fk", fk))
+        return cls(nodes, steps)
+
+    @classmethod
+    def parse(cls, schema: DatabaseSchema, text_nodes: Sequence) -> "JoinPath":
+        """Build from strings: each node is ``"T.C"`` or a list of them."""
+        raw: list[list[Attr]] = []
+        for entry in text_nodes:
+            if isinstance(entry, str):
+                raw.append([schema.attr(entry)])
+            else:
+                raw.append([schema.attr(t) for t in entry])
+        return cls.build(schema, raw)
+
+    # ------------------------------------------------------------------
+    # basic views
+    # ------------------------------------------------------------------
+    @property
+    def source(self) -> Node:
+        return self.nodes[0]
+
+    @property
+    def source_table(self) -> str:
+        return node_table(self.nodes[0])
+
+    @property
+    def destination(self) -> Attr:
+        (attr,) = self.nodes[-1]
+        return attr
+
+    @property
+    def tables(self) -> list[str]:
+        """Tables visited, in order, without consecutive duplicates."""
+        out: list[str] = []
+        for node in self.nodes:
+            table = node_table(node)
+            if not out or out[-1] != table:
+                out.append(table)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, JoinPath) and self.nodes == other.nodes
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        parts = []
+        for node in self.nodes:
+            attrs = sorted(str(a) for a in node)
+            parts.append(attrs[0] if len(attrs) == 1 else "{" + ", ".join(attrs) + "}")
+        return " -> ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"JoinPath({self})"
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def is_prefix_of(self, other: "JoinPath") -> bool:
+        """True if this path's node sequence is a prefix of *other*'s."""
+        if len(self.nodes) > len(other.nodes):
+            return False
+        return other.nodes[: len(self.nodes)] == self.nodes
+
+    def without_destination(self) -> tuple[Node, ...]:
+        """Node sequence minus the final destination node (``p - X``)."""
+        return self.nodes[:-1]
+
+    def concat(self, extension: "JoinPath") -> "JoinPath":
+        """``self + p(X, Y)``: extension must start at our destination node."""
+        if extension.nodes[0] != self.nodes[-1]:
+            raise JoinPathError(
+                f"cannot concatenate: {extension.nodes[0]} != {self.nodes[-1]}"
+            )
+        return JoinPath(
+            self.nodes + extension.nodes[1:], self.steps + extension.steps
+        )
+
+
+def _tracks_to_destination(x: "Attr", b: JoinPath, start: int) -> bool:
+    """Does attribute *x* correspond, role-preservingly, to b's destination?
+
+    Walks b's steps from node index *start*, carrying *x* through each
+    foreign-key hop by column position. This is stricter than granularity-
+    class equality: in the paper's Example 9, R3.X1 tracks to R2.X1 through
+    the composite FK (so p4 ≡ p3), while R3.X2 tracks to R2.X2 and thus
+    does **not** reach p3's destination R2.X1 (so p5 is incompatible) —
+    even though X1 and X2 share a granularity class via R1.X.
+    """
+    tracked = x
+    for idx in range(start, len(b.nodes) - 1):
+        step = b.steps[idx]
+        nxt = b.nodes[idx + 1]
+        if step.kind == "fk":
+            fk = step.fk
+            assert fk is not None
+            if tracked.table == fk.table and tracked.column in fk.columns:
+                position = fk.columns.index(tracked.column)
+                tracked = Attr(fk.ref_table, fk.ref_columns[position])
+            else:
+                return False
+        else:  # intra step: only survives if the target still contains x
+            if tracked not in nxt:
+                return False
+    return frozenset({tracked}) == b.nodes[-1]
+
+
+def paths_compatible(p1: JoinPath, p2: JoinPath, attr_compat=None) -> str | None:
+    """Definition-13 compatibility of two join paths from the same source.
+
+    Returns ``"equal"`` (``p1 ≡ p2``), ``"first_coarser"`` (``p1 > p2``),
+    ``"second_coarser"`` (``p2 > p1``), or ``None`` when incompatible.
+
+    *attr_compat* is accepted for backward compatibility and ignored:
+    condition 2 uses role-preserving correspondence tracking (see
+    :func:`_tracks_to_destination`), which Example 9 shows is the intended
+    semantics.
+    """
+    if p1.source != p2.source:
+        return None
+    # Order so that b is not shorter than a, as the definition assumes.
+    if len(p1) <= len(p2):
+        a, b, swapped = p1, p2, False
+    else:
+        a, b, swapped = p2, p1, True
+
+    # Condition 1: a is a prefix of b.
+    if a.is_prefix_of(b):
+        if len(a) == len(b):
+            return "equal"
+        if swapped:
+            return "first_coarser"
+        return "second_coarser"
+    # Condition 2: (a - X) is a prefix of b and X corresponds to b's
+    # destination through b's continuation.
+    trimmed = a.without_destination()
+    if b.nodes[: len(trimmed)] == trimmed:
+        if _tracks_to_destination(a.destination, b, len(trimmed) - 1):
+            return "equal"
+    return None

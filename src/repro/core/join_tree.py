@@ -1,0 +1,177 @@
+"""Join trees (Definition 3) and their trace-driven properties.
+
+A join tree ``Tree(W, X)`` combines one join path per partitioned table of
+a homogeneous workload ``W``, all ending at the root attribute ``X``. The
+tree maps every tuple the workload touches to a value of ``X``; a tree is a
+**mapping-independent** solution (Definition 7) when every transaction's
+tuples map to a *single* root value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.errors import PartitioningError
+from repro.schema.attribute import Attr
+from repro.core.join_path import JoinPath
+from repro.core.path_eval import JoinPathEvaluator
+from repro.trace.events import Trace, TransactionTrace
+
+
+@dataclass(frozen=True)
+class JoinTree:
+    """One join path per covered table, all rooted at ``root``."""
+
+    root: Attr
+    paths: Mapping[str, JoinPath]
+
+    def __post_init__(self) -> None:
+        for table, path in self.paths.items():
+            if path.source_table != table:
+                raise PartitioningError(
+                    f"path for {table} starts at {path.source_table}"
+                )
+            if path.destination != self.root:
+                raise PartitioningError(
+                    f"path for {table} ends at {path.destination}, not {self.root}"
+                )
+
+    @property
+    def tables(self) -> frozenset[str]:
+        return frozenset(self.paths)
+
+    def path(self, table: str) -> JoinPath:
+        return self.paths[table]
+
+    def __hash__(self) -> int:
+        return hash((self.root, tuple(sorted(self.paths.items(), key=lambda kv: kv[0]))))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, JoinTree)
+            and self.root == other.root
+            and dict(self.paths) == dict(other.paths)
+        )
+
+    def __str__(self) -> str:
+        lines = [f"Tree(root={self.root})"]
+        for table in sorted(self.paths):
+            lines.append(f"  {table}: {self.paths[table]}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # trace-driven semantics
+    # ------------------------------------------------------------------
+    def root_values(
+        self, txn: TransactionTrace, evaluator: JoinPathEvaluator
+    ) -> set[Any] | None:
+        """Root values of all covered tuples of *txn*.
+
+        Returns ``None`` when some covered tuple has no root value (the
+        tree fails to map it); tuples of tables outside the tree are
+        ignored (they are replicated or handled by other solutions).
+        """
+        values: set[Any] = set()
+        for table, key in txn.tuples:
+            path = self.paths.get(table)
+            if path is None:
+                continue
+            value = evaluator.evaluate(path, key)
+            if value is None:
+                return None
+            values.add(value)
+        return values
+
+    def is_mapping_independent(
+        self, trace: Trace, evaluator: JoinPathEvaluator
+    ) -> bool:
+        """Definition 7: every transaction maps to exactly one root value."""
+        for txn in trace:
+            values = self.root_values(txn, evaluator)
+            if values is None or len(values) > 1:
+                return False
+        return True
+
+    def restrict(self, tables: Iterable[str]) -> "JoinTree":
+        """The tree covering only *tables* (a workload-elimination view)."""
+        subset = {t for t in tables if t in self.paths}
+        return JoinTree(self.root, {t: self.paths[t] for t in subset})
+
+    # ------------------------------------------------------------------
+    # sub-trees (partial solutions)
+    # ------------------------------------------------------------------
+    def subtrees(self) -> list["JoinTree"]:
+        """Sub-join-trees obtained by removing the root attribute.
+
+        Each covered table's path is shortened by its final hop; paths that
+        then end at different attributes split the tree into one sub-tree
+        per new root. Tables whose path becomes empty (the root was inside
+        the table itself) drop out.
+        """
+        truncated: dict[Attr, dict[str, JoinPath]] = {}
+        for table, path in self.paths.items():
+            if len(path) <= 1:
+                continue
+            shorter = JoinPath(path.nodes[:-1], path.steps[:-1])
+            if len(shorter.nodes[-1]) != 1:
+                # New terminal is a composite key set; per Definition 2 a
+                # destination must be a single attribute, so walk back one
+                # more hop if possible.
+                if len(shorter) <= 1:
+                    continue
+                shorter = JoinPath(shorter.nodes[:-1], shorter.steps[:-1])
+                if len(shorter.nodes[-1]) != 1:
+                    continue
+            (new_root,) = shorter.nodes[-1]
+            truncated.setdefault(new_root, {})[table] = shorter
+        out = []
+        for new_root, paths in sorted(truncated.items()):
+            out.append(JoinTree(new_root, paths))
+        return out
+
+
+def tree_relation(finer: JoinTree, coarser: JoinTree) -> bool:
+    """Definition 9: is *coarser* equal to *finer* + one path p(X, Y)?
+
+    True when both trees cover the same tables and every table's coarser
+    path extends its finer path by one identical suffix starting at the
+    finer root.
+    """
+    if finer.tables != coarser.tables:
+        return False
+    expected_suffix: tuple | None = None
+    for table in finer.tables:
+        fine_path = finer.paths[table]
+        coarse_path = coarser.paths[table]
+        if not fine_path.is_prefix_of(coarse_path):
+            return False
+        suffix = coarse_path.nodes[len(fine_path) - 1 :]
+        if suffix[0] != frozenset({finer.root}):
+            return False
+        if expected_suffix is None:
+            expected_suffix = suffix
+        elif suffix != expected_suffix:
+            return False
+    # A genuine extension p(X, Y) has at least two nodes (X != Y);
+    # otherwise the trees are identical, not finer/coarser.
+    return expected_suffix is not None and len(expected_suffix) >= 2
+
+
+def prune_compatible_trees(trees: Iterable[JoinTree]) -> list[JoinTree]:
+    """Drop trees that are coarser versions of another tree in the set.
+
+    Phase 2 keeps the finest representative of each compatible family: the
+    finer tree yields finer partitions and composes better in Phase 3
+    (Property 1 guarantees it stays mapping independent).
+    """
+    trees = list(trees)
+    keep: list[JoinTree] = []
+    for candidate in trees:
+        is_coarser = any(
+            other is not candidate and tree_relation(other, candidate)
+            for other in trees
+        )
+        if not is_coarser:
+            keep.append(candidate)
+    return keep

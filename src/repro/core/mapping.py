@@ -1,0 +1,188 @@
+"""Mapping functions from root-attribute values to partition ids.
+
+Definition 4/10: a mapping function sends each value of the partitioning
+attribute to an integer in ``[0..k]`` where ``1..k`` are partitions and
+``0`` means *replicate everywhere*. All mappings here are deterministic
+across processes (no salted hashes) so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Iterable, Mapping
+
+from repro.errors import PartitioningError
+
+REPLICATED = 0
+
+
+def stable_hash(value: Any) -> int:
+    """Process-independent non-negative hash of a scalar value."""
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, int):
+        # Spread via a 64-bit multiplicative mix (splitmix64 finalizer) so
+        # consecutive keys do not land in consecutive partitions.
+        x = value & 0xFFFFFFFFFFFFFFFF
+        x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+        x = (x ^ (x >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+        return (x ^ (x >> 31)) & 0x7FFFFFFFFFFFFFFF
+    if isinstance(value, float):
+        return stable_hash(hash(value) & 0xFFFFFFFFFFFFFFFF)
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8"))
+    if isinstance(value, tuple):
+        acc = 2166136261
+        for item in value:
+            acc = (acc * 16777619) ^ stable_hash(item)
+        return acc & 0x7FFFFFFFFFFFFFFF
+    if value is None:
+        return 0
+    raise PartitioningError(f"unhashable partitioning value {value!r}")
+
+
+class MappingFunction:
+    """Base class; subclasses implement :meth:`__call__`."""
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise PartitioningError("need at least one partition")
+        self.num_partitions = num_partitions
+
+    def __call__(self, value: Any) -> int:
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class HashMapping(MappingFunction):
+    """Partition ``1 + stable_hash(value) % k`` — the paper's default."""
+
+    def __call__(self, value: Any) -> int:
+        if value is None:
+            return REPLICATED
+        return 1 + stable_hash(value) % self.num_partitions
+
+    def __repr__(self) -> str:
+        return f"HashMapping(k={self.num_partitions})"
+
+
+class IdentityModMapping(MappingFunction):
+    """``1 + value % k`` for integer values; useful when values are dense.
+
+    Equivalent in quality to :class:`HashMapping` for the paper's cost
+    model, but makes tests and examples easy to reason about.
+    """
+
+    def __call__(self, value: Any) -> int:
+        if value is None:
+            return REPLICATED
+        if not isinstance(value, int):
+            return 1 + stable_hash(value) % self.num_partitions
+        return 1 + value % self.num_partitions
+
+    def __repr__(self) -> str:
+        return f"IdentityModMapping(k={self.num_partitions})"
+
+
+class RangeMapping(MappingFunction):
+    """Range partitioning over sorted split boundaries.
+
+    ``boundaries`` are the inclusive upper bounds of partitions 1..k-1;
+    values above the last boundary land in partition k.
+    """
+
+    def __init__(self, num_partitions: int, boundaries: Iterable[Any]) -> None:
+        super().__init__(num_partitions)
+        self.boundaries = list(boundaries)
+        if len(self.boundaries) != num_partitions - 1:
+            raise PartitioningError(
+                f"need {num_partitions - 1} boundaries, got {len(self.boundaries)}"
+            )
+        if self.boundaries != sorted(self.boundaries):
+            raise PartitioningError("range boundaries must be sorted")
+
+    @classmethod
+    def from_values(
+        cls, num_partitions: int, values: Iterable[Any]
+    ) -> "RangeMapping":
+        """Equi-depth boundaries from a sample of attribute values."""
+        ordered = sorted(set(values))
+        if not ordered:
+            return cls(num_partitions, [float("inf")] * (num_partitions - 1))
+        boundaries = []
+        for i in range(1, num_partitions):
+            idx = min(len(ordered) - 1, (i * len(ordered)) // num_partitions)
+            boundaries.append(ordered[idx])
+        # enforce monotonicity when the sample is tiny
+        for i in range(1, len(boundaries)):
+            if boundaries[i] < boundaries[i - 1]:
+                boundaries[i] = boundaries[i - 1]
+        return cls(num_partitions, boundaries)
+
+    def __call__(self, value: Any) -> int:
+        if value is None:
+            return REPLICATED
+        lo, hi = 0, len(self.boundaries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            try:
+                below = value <= self.boundaries[mid]
+            except TypeError:
+                return 1 + stable_hash(value) % self.num_partitions
+            if below:
+                hi = mid
+            else:
+                lo = mid + 1
+        return 1 + lo
+
+    def __repr__(self) -> str:
+        return f"RangeMapping(k={self.num_partitions})"
+
+
+class LookupMapping(MappingFunction):
+    """Explicit value-to-partition table with a fallback for unseen values.
+
+    This is the representation produced by the statistics fallback
+    (Section 5.3) and by Schism's learned rules: the lookup table maps each
+    known root-attribute value to its partition; unseen values fall back to
+    *fallback* (a hash mapping by default).
+    """
+
+    def __init__(
+        self,
+        num_partitions: int,
+        table: Mapping[Any, int],
+        fallback: MappingFunction | None = None,
+    ) -> None:
+        super().__init__(num_partitions)
+        self.table = dict(table)
+        for value, pid in self.table.items():
+            if not REPLICATED <= pid <= num_partitions:
+                raise PartitioningError(
+                    f"partition id {pid} for {value!r} out of range 0..{num_partitions}"
+                )
+        self.fallback = fallback if fallback is not None else HashMapping(num_partitions)
+
+    def __call__(self, value: Any) -> int:
+        if value is None:
+            return REPLICATED
+        found = self.table.get(value)
+        if found is not None:
+            return found
+        return self.fallback(value)
+
+    def __repr__(self) -> str:
+        return f"LookupMapping(k={self.num_partitions}, entries={len(self.table)})"
+
+
+class ReplicateMapping(MappingFunction):
+    """Maps everything to 0: the full-replication solution."""
+
+    def __call__(self, value: Any) -> int:
+        return REPLICATED
+
+    def __repr__(self) -> str:
+        return f"ReplicateMapping(k={self.num_partitions})"

@@ -1,0 +1,136 @@
+"""The JECB partitioner facade: Phase 1 -> Phase 2 -> Phase 3.
+
+Inputs (Section 3): a workload trace, the database schema, the SQL code of
+the transaction classes, and the desired number of partitions. Output: a
+:class:`~repro.core.solution.DatabasePartitioning` plus full diagnostics
+(per-class solutions for Table 3, the final per-table placements for
+Table 4, and search-space statistics for Example 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.procedures.procedure import ProcedureCatalog
+from repro.storage.database import Database
+from repro.trace.events import Trace
+from repro.trace.splitter import split_by_class
+from repro.trace.stats import TableUsage, classify_tables
+from repro.core.phase2 import ClassResult, Phase2Config, partition_class
+from repro.core.phase3 import Phase3Config, Phase3Result, combine
+from repro.core.solution import DatabasePartitioning
+from repro.evaluation.resources import ResourceMeter, ResourceUsage
+
+
+@dataclass
+class JECBConfig:
+    """End-to-end configuration."""
+
+    num_partitions: int = 8
+    read_mostly_threshold: float = 0.02
+    phase2: Phase2Config = field(default_factory=Phase2Config)
+    phase3: Phase3Config = field(default_factory=Phase3Config)
+    meter_resources: bool = False
+
+
+@dataclass
+class JECBResult:
+    """Everything JECB produced for one workload."""
+
+    partitioning: DatabasePartitioning
+    table_usage: dict[str, TableUsage]
+    class_results: list[ClassResult]
+    phase3: Phase3Result
+    resources: ResourceUsage | None = None
+
+    @property
+    def cost(self) -> float:
+        """Cost on the training trace (Phase 3's selection criterion)."""
+        return self.phase3.best_report.cost
+
+    def class_result(self, name: str) -> ClassResult:
+        for result in self.class_results:
+            if result.class_name == name:
+                return result
+        raise KeyError(name)
+
+    def solutions_table(self) -> str:
+        """Table-3-style listing of per-class total/partial solutions."""
+        return "\n".join(r.summary() for r in self.class_results)
+
+    def placements_table(self) -> str:
+        """Table-4-style listing of the final per-table placements."""
+        return self.partitioning.describe()
+
+
+class JECBPartitioner:
+    """Join-Extension, Code-Based automatic OLTP partitioner."""
+
+    def __init__(
+        self,
+        database: Database,
+        catalog: ProcedureCatalog,
+        config: JECBConfig | None = None,
+    ) -> None:
+        self.database = database
+        self.schema = database.schema
+        self.catalog = catalog
+        self.config = config or JECBConfig()
+
+    def run(self, training_trace: Trace) -> JECBResult:
+        """Execute the three phases over *training_trace*."""
+        if self.config.meter_resources:
+            with ResourceMeter() as meter:
+                result = self._run(training_trace)
+            result.resources = meter.usage
+            return result
+        return self._run(training_trace)
+
+    def _run(self, training_trace: Trace) -> JECBResult:
+        config = self.config
+
+        # Phase 1: classify tables and split the trace per class.
+        usage = classify_tables(
+            training_trace, self.schema, config.read_mostly_threshold
+        )
+        replicated = {t for t, u in usage.items() if u.replicated}
+        partitioned = [
+            t for t, u in usage.items() if u is TableUsage.PARTITIONED
+        ]
+        streams = split_by_class(training_trace)
+
+        # Phase 2: per-class total and partial solutions.
+        class_results: list[ClassResult] = []
+        for name in sorted(streams):
+            if name not in self.catalog:
+                continue
+            procedure = self.catalog.get(name)
+            class_results.append(
+                partition_class(
+                    self.schema,
+                    procedure,
+                    streams[name],
+                    replicated,
+                    self.database,
+                    config.num_partitions,
+                    config.phase2,
+                )
+            )
+
+        # Phase 3: combine into the global solution.
+        phase3 = combine(
+            class_results,
+            partitioned,
+            sorted(replicated),
+            self.schema,
+            self.database,
+            training_trace,
+            config.num_partitions,
+            config.phase3,
+        )
+        return JECBResult(
+            partitioning=phase3.best,
+            table_usage=usage,
+            class_results=class_results,
+            phase3=phase3,
+        )

@@ -1,0 +1,108 @@
+"""Evaluating join paths on live data: tuple -> root-attribute value.
+
+A join path ``p(key(T), X)`` is a mapping from each tuple of ``T`` to one
+value of ``X`` (Section 5). The evaluator walks the path's validated steps
+against the database, fetching rows only when a needed column is not
+already known — so paths that stay inside the primary key (e.g. TPC-C's
+``NO_W_ID``) still evaluate for tuples that have since been deleted.
+
+Results are memoized per (path, key): mapping-independence testing and cost
+evaluation revisit the same tuples constantly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.join_path import JoinPath, node_table
+from repro.storage.database import Database
+
+
+class JoinPathEvaluator:
+    """Evaluates join paths against one :class:`Database`."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._cache: dict[tuple[JoinPath, tuple], Any] = {}
+
+    def evaluate(self, path: JoinPath, key: tuple) -> Any:
+        """Value of the path's destination attribute for the tuple *key*.
+
+        *key* is the primary-key tuple of the path's source table. Returns
+        ``None`` when the walk cannot complete (missing row, NULL foreign
+        key) — callers treat that as "no root value".
+        """
+        key = tuple(key)
+        cache_key = (path, key)
+        if cache_key in self._cache:
+            return self._cache[cache_key]
+        value = self._walk(path, key)
+        self._cache[cache_key] = value
+        return value
+
+    def _walk(self, path: JoinPath, key: tuple) -> Any:
+        source_table = path.source_table
+        table = self.database.table(source_table)
+        pk_columns = table.schema.primary_key
+        if len(pk_columns) != len(key):
+            return None
+        known: dict[str, Any] = dict(zip(pk_columns, key))
+        current_table = source_table
+        row: dict[str, Any] | None = None
+
+        for step, node in zip(path.steps, path.nodes[1:]):
+            if step.kind == "intra":
+                needed = [a.column for a in node]
+                if not all(c in known for c in needed):
+                    if row is None:
+                        row = self._fetch_current(current_table, known)
+                        if row is None:
+                            return None
+                        known = dict(row)
+                # values now available through `known`
+            else:  # fk hop
+                fk = step.fk
+                assert fk is not None
+                if not all(c in known for c in fk.columns):
+                    if row is None:
+                        row = self._fetch_current(current_table, known)
+                        if row is None:
+                            return None
+                        known = dict(row)
+                values = tuple(known.get(c) for c in fk.columns)
+                if any(v is None for v in values):
+                    return None
+                ref_table = self.database.table(fk.ref_table)
+                matches = ref_table.lookup(fk.ref_columns, values)
+                if matches:
+                    row = matches[0]
+                elif tuple(fk.ref_columns) == ref_table.schema.primary_key:
+                    row = ref_table.get_snapshot(values)
+                    if row is None:
+                        return None
+                else:
+                    return None
+                known = dict(row)
+                current_table = fk.ref_table
+
+        destination = path.destination
+        if destination.column in known:
+            return known[destination.column]
+        if row is None:
+            row = self._fetch_current(current_table, known)
+            if row is None:
+                return None
+            known = dict(row)
+        return known.get(destination.column)
+
+    def _fetch_current(
+        self, table_name: str, known: dict[str, Any]
+    ) -> dict[str, Any] | None:
+        table = self.database.table(table_name)
+        pk = table.schema.primary_key
+        if not all(c in known for c in pk):
+            return None
+        return table.get_snapshot(tuple(known[c] for c in pk))
+
+    def clear_cache(self) -> None:
+        self._cache.clear()

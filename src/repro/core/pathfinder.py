@@ -1,0 +1,190 @@
+"""Join-path search over the key--foreign-key structure of a schema.
+
+Used in two places:
+
+* Phase 2 enumerates **all** simple join paths from each accessed table's
+  primary key to a candidate root attribute, restricted to the foreign
+  keys that the transaction's SQL code justifies (the join graph);
+* Phase 3 extends a finer solution to a coarser attribute using the
+  **shortest** join path in the full schema.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Iterator
+
+from repro.schema.attribute import Attr
+from repro.schema.database import DatabaseSchema
+from repro.schema.table import ForeignKey
+from repro.core.join_path import JoinPath, Node, Step, node_table
+
+FkFilter = Callable[[ForeignKey], bool]
+
+
+def _successors(
+    schema: DatabaseSchema,
+    node: Node,
+    fk_allowed: FkFilter,
+    attr_pool: frozenset[Attr] | None,
+) -> Iterator[tuple[Node, Step]]:
+    """Legal Definition-2 moves out of *node*.
+
+    * If *node* is a foreign key (and the FK is allowed), hop to the
+      referenced attribute set.
+    * If *node* is its table's primary key, step within the table to any
+      single attribute in the pool or to any allowed foreign-key set.
+
+    ``attr_pool`` limits which single attributes may be intra-step targets
+    (``None`` = all columns); foreign-key sets are always usable as
+    intermediate nodes since they immediately hop across.
+    """
+    table_name = node_table(node)
+    table = schema.table(table_name)
+    emitted: set[Node] = set()
+
+    fk = schema.foreign_key_for(node)
+    if fk is not None and fk_allowed(fk):
+        target = frozenset(Attr(fk.ref_table, c) for c in fk.ref_columns)
+        emitted.add(target)
+        yield target, Step("fk", fk)
+
+    if table.is_primary_key(a.column for a in node):
+        for other_fk in table.foreign_keys:
+            if not fk_allowed(other_fk):
+                continue
+            fk_node = frozenset(Attr(table_name, c) for c in other_fk.columns)
+            if fk_node != node and fk_node not in emitted:
+                emitted.add(fk_node)
+                yield fk_node, Step("intra")
+        for column in table.column_names:
+            attr = Attr(table_name, column)
+            if attr_pool is not None and attr not in attr_pool:
+                continue
+            single = frozenset({attr})
+            if single != node and single not in emitted:
+                emitted.add(single)
+                yield single, Step("intra")
+
+
+def enumerate_paths(
+    schema: DatabaseSchema,
+    source: Node,
+    target: Attr,
+    fk_allowed: FkFilter = lambda fk: True,
+    attr_pool: frozenset[Attr] | None = None,
+    max_nodes: int = 12,
+    max_paths: int = 64,
+) -> list[JoinPath]:
+    """All simple join paths from *source* to the single attribute *target*.
+
+    Paths never revisit a node and are bounded by *max_nodes*; enumeration
+    stops after *max_paths* results (the code-based pruning keeps real
+    workloads far below either bound).
+    """
+    goal = frozenset({target})
+    results: list[JoinPath] = []
+
+    def dfs(nodes: list[Node], steps: list[Step], visited: set[Node]) -> None:
+        if len(results) >= max_paths:
+            return
+        current = nodes[-1]
+        if current == goal:
+            results.append(JoinPath(tuple(nodes), tuple(steps)))
+            return
+        if len(nodes) >= max_nodes:
+            return
+        for nxt, step in _successors(schema, current, fk_allowed, attr_pool):
+            if nxt in visited:
+                continue
+            visited.add(nxt)
+            nodes.append(nxt)
+            steps.append(step)
+            dfs(nodes, steps, visited)
+            steps.pop()
+            nodes.pop()
+            visited.discard(nxt)
+
+    dfs([source], [], {source})
+    return results
+
+
+def shortest_path(
+    schema: DatabaseSchema,
+    source: Node,
+    target: Attr,
+    fk_allowed: FkFilter = lambda fk: True,
+    max_nodes: int = 12,
+    goal_test: Callable[[Node], bool] | None = None,
+) -> JoinPath | None:
+    """Shortest join path from *source* to *target* (BFS), or None.
+
+    When *goal_test* is given it replaces the exact-target check — used to
+    reach *any* attribute of a granularity class (their values coincide
+    through the foreign keys, so a mapping function on one works for all).
+    """
+    goal = frozenset({target})
+    if goal_test is None:
+        goal_test = lambda node: node == goal  # noqa: E731
+    if goal_test(source):
+        return JoinPath((source,), ())
+    queue: deque[tuple[Node, ...]] = deque([(source,)])
+    parents: dict[Node, tuple[Node, Step]] = {}
+    seen: set[Node] = {source}
+    while queue:
+        trail = queue.popleft()
+        current = trail[-1]
+        if len(trail) >= max_nodes:
+            continue
+        for nxt, step in _successors(schema, current, fk_allowed, None):
+            if nxt in seen:
+                continue
+            seen.add(nxt)
+            parents[nxt] = (current, step)
+            if goal_test(nxt):
+                return _reconstruct(source, nxt, parents)
+            queue.append(trail + (nxt,))
+    return None
+
+
+def _reconstruct(
+    source: Node, goal: Node, parents: dict[Node, tuple[Node, Step]]
+) -> JoinPath:
+    nodes: list[Node] = [goal]
+    steps: list[Step] = []
+    current = goal
+    while current != source:
+        prev, step = parents[current]
+        nodes.append(prev)
+        steps.append(step)
+        current = prev
+    nodes.reverse()
+    steps.reverse()
+    return JoinPath(tuple(nodes), tuple(steps))
+
+
+def reachable_attrs(
+    schema: DatabaseSchema,
+    source: Node,
+    fk_allowed: FkFilter = lambda fk: True,
+    attr_pool: frozenset[Attr] | None = None,
+    max_nodes: int = 12,
+) -> set[Attr]:
+    """All single attributes reachable from *source* via join paths."""
+    out: set[Attr] = set()
+    seen: set[Node] = {source}
+    queue: deque[tuple[Node, int]] = deque([(source, 1)])
+    if len(source) == 1:
+        out.add(next(iter(source)))
+    while queue:
+        node, depth = queue.popleft()
+        if depth >= max_nodes:
+            continue
+        for nxt, _step in _successors(schema, node, fk_allowed, attr_pool):
+            if nxt in seen:
+                continue
+            seen.add(nxt)
+            if len(nxt) == 1:
+                out.add(next(iter(nxt)))
+            queue.append((nxt, depth + 1))
+    return out

@@ -1,0 +1,146 @@
+"""Serialization of partitioning solutions to/from JSON-compatible dicts.
+
+A deployment pipeline computes a partitioning once and ships it to the
+router tier; this module round-trips :class:`DatabasePartitioning`
+(join paths, mapping functions, replication decisions) through plain
+JSON. Lookup mappings serialize their full value table; hash and range
+mappings serialize their parameters.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.join_path import JoinPath
+from repro.core.mapping import (
+    HashMapping,
+    IdentityModMapping,
+    LookupMapping,
+    MappingFunction,
+    RangeMapping,
+    ReplicateMapping,
+)
+from repro.core.solution import DatabasePartitioning, TableSolution
+from repro.errors import PartitioningError
+from repro.schema.attribute import Attr
+from repro.schema.database import DatabaseSchema
+
+
+# ----------------------------------------------------------------------
+# mapping functions
+# ----------------------------------------------------------------------
+def mapping_to_dict(mapping: MappingFunction) -> dict[str, Any]:
+    k = mapping.num_partitions
+    if isinstance(mapping, HashMapping):
+        return {"type": "hash", "k": k}
+    if isinstance(mapping, IdentityModMapping):
+        return {"type": "identity-mod", "k": k}
+    if isinstance(mapping, RangeMapping):
+        return {"type": "range", "k": k, "boundaries": list(mapping.boundaries)}
+    if isinstance(mapping, ReplicateMapping):
+        return {"type": "replicate", "k": k}
+    if isinstance(mapping, LookupMapping):
+        return {
+            "type": "lookup",
+            "k": k,
+            "table": [[value, pid] for value, pid in mapping.table.items()],
+            "fallback": mapping_to_dict(mapping.fallback),
+        }
+    raise PartitioningError(
+        f"cannot serialize mapping type {type(mapping).__name__}"
+    )
+
+
+def mapping_from_dict(data: dict[str, Any]) -> MappingFunction:
+    kind = data.get("type")
+    k = int(data["k"])
+    if kind == "hash":
+        return HashMapping(k)
+    if kind == "identity-mod":
+        return IdentityModMapping(k)
+    if kind == "range":
+        return RangeMapping(k, data["boundaries"])
+    if kind == "replicate":
+        return ReplicateMapping(k)
+    if kind == "lookup":
+        table = {_freeze(value): pid for value, pid in data["table"]}
+        return LookupMapping(k, table, mapping_from_dict(data["fallback"]))
+    raise PartitioningError(f"unknown mapping type {kind!r}")
+
+
+def _freeze(value: Any) -> Any:
+    """JSON turns tuples into lists; restore hashability."""
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# join paths
+# ----------------------------------------------------------------------
+def path_to_dict(path: JoinPath) -> list[list[str]]:
+    return [sorted(str(attr) for attr in node) for node in path.nodes]
+
+
+def path_from_dict(schema: DatabaseSchema, data: list[list[str]]) -> JoinPath:
+    return JoinPath.parse(schema, [node for node in data])
+
+
+# ----------------------------------------------------------------------
+# partitionings
+# ----------------------------------------------------------------------
+def partitioning_to_dict(partitioning: DatabasePartitioning) -> dict[str, Any]:
+    tables: dict[str, Any] = {}
+    for table in partitioning.tables:
+        solution = partitioning.solution_for(table)
+        if solution.replicated:
+            tables[table] = {"replicated": True}
+        elif solution.path is None or solution.mapping is None:
+            raise PartitioningError(
+                f"solution for {table} is not serializable "
+                "(classifier-based placements have no closed form)"
+            )
+        else:
+            tables[table] = {
+                "replicated": False,
+                "path": path_to_dict(solution.path),
+                "mapping": mapping_to_dict(solution.mapping),
+            }
+    return {
+        "name": partitioning.name,
+        "num_partitions": partitioning.num_partitions,
+        "tables": tables,
+    }
+
+
+def partitioning_from_dict(
+    schema: DatabaseSchema, data: dict[str, Any]
+) -> DatabasePartitioning:
+    partitioning = DatabasePartitioning(
+        int(data["num_partitions"]), name=data.get("name", "partitioning")
+    )
+    for table, entry in data["tables"].items():
+        if entry.get("replicated"):
+            partitioning.set(TableSolution(table))
+        else:
+            partitioning.set(
+                TableSolution(
+                    table,
+                    path_from_dict(schema, entry["path"]),
+                    mapping_from_dict(entry["mapping"]),
+                )
+            )
+    return partitioning
+
+
+def dump_partitioning(partitioning: DatabasePartitioning) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(partitioning_to_dict(partitioning), indent=2)
+
+
+def load_partitioning(
+    schema: DatabaseSchema, text: str
+) -> DatabasePartitioning:
+    """Deserialize from a JSON string, validating paths against *schema*."""
+    return partitioning_from_dict(schema, json.loads(text))

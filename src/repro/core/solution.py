@@ -1,0 +1,187 @@
+"""Partitioning solutions: per-class, per-table, and whole-database.
+
+* :class:`ClassSolution` — Definition 4: a join tree over one homogeneous
+  workload plus (when needed) a concrete mapping function. Mapping
+  independent solutions carry ``mapping=None``: any non-replicating
+  mapping gives the same cost.
+* :class:`TableSolution` — Definition 10: a join path from one table's
+  primary key to a partitioning attribute, plus a mapping function (or
+  replication).
+* :class:`DatabasePartitioning` — Definition 11: one table solution per
+  table; tables without one are replicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.errors import PartitioningError
+from repro.schema.attribute import Attr
+from repro.core.join_path import JoinPath
+from repro.core.join_tree import JoinTree
+from repro.core.mapping import REPLICATED, HashMapping, MappingFunction
+from repro.core.path_eval import JoinPathEvaluator
+
+TOTAL = "total"
+PARTIAL = "partial"
+
+
+@dataclass(frozen=True)
+class ClassSolution:
+    """A partitioning solution for one transaction class (Definition 4)."""
+
+    class_name: str
+    tree: JoinTree
+    kind: str = TOTAL  # TOTAL or PARTIAL
+    mapping: MappingFunction | None = None
+    mapping_independent: bool = True
+
+    @property
+    def root(self) -> Attr:
+        return self.tree.root
+
+    def __str__(self) -> str:
+        tag = "MI" if self.mapping_independent else "stat"
+        return f"{self.class_name}[{self.kind},{tag}] root={self.root}"
+
+
+@dataclass(frozen=True)
+class TableSolution:
+    """How one table is placed (Definition 10).
+
+    ``path=None`` means the table is fully replicated. Otherwise tuples
+    follow ``path`` to the partitioning attribute and ``mapping`` sends the
+    value to a partition id (0 = replicate that value's tuples).
+    """
+
+    table: str
+    path: JoinPath | None = None
+    mapping: MappingFunction | None = None
+
+    def __post_init__(self) -> None:
+        if self.path is not None:
+            if self.path.source_table != self.table:
+                raise PartitioningError(
+                    f"solution path for {self.table} starts at "
+                    f"{self.path.source_table}"
+                )
+            if self.mapping is None:
+                raise PartitioningError(
+                    f"partitioned table {self.table} needs a mapping function"
+                )
+
+    @property
+    def replicated(self) -> bool:
+        return self.path is None
+
+    @property
+    def attribute(self) -> Attr | None:
+        return None if self.path is None else self.path.destination
+
+    def partition_of(self, key: tuple, evaluator: JoinPathEvaluator) -> int | None:
+        """Partition id for the tuple *key*: 0 replicated, None unroutable."""
+        if self.path is None:
+            return REPLICATED
+        value = evaluator.evaluate(self.path, key)
+        if value is None:
+            return None
+        assert self.mapping is not None
+        return self.mapping(value)
+
+    def __str__(self) -> str:
+        if self.replicated:
+            return f"{self.table}: replicated"
+        return f"{self.table}: {self.path} via {self.mapping!r}"
+
+
+class DatabasePartitioning:
+    """A complete placement decision for every table (Definition 11)."""
+
+    def __init__(
+        self,
+        num_partitions: int,
+        solutions: Mapping[str, TableSolution] | Iterable[TableSolution] = (),
+        name: str = "partitioning",
+    ) -> None:
+        if num_partitions < 1:
+            raise PartitioningError("need at least one partition")
+        self.num_partitions = num_partitions
+        self.name = name
+        self._solutions: dict[str, TableSolution] = {}
+        items = (
+            solutions.values() if isinstance(solutions, Mapping) else solutions
+        )
+        for solution in items:
+            self.set(solution)
+
+    def set(self, solution: TableSolution) -> None:
+        self._solutions[solution.table] = solution
+
+    def solution_for(self, table: str) -> TableSolution:
+        """Placement for *table* (absent tables are replicated)."""
+        found = self._solutions.get(table)
+        if found is not None:
+            return found
+        return TableSolution(table)
+
+    @property
+    def tables(self) -> tuple[str, ...]:
+        return tuple(self._solutions)
+
+    def partitioned_tables(self) -> list[str]:
+        return [t for t, s in self._solutions.items() if not s.replicated]
+
+    def replicated_tables(self) -> list[str]:
+        return [t for t, s in self._solutions.items() if s.replicated]
+
+    def partition_of(
+        self, table: str, key: tuple, evaluator: JoinPathEvaluator
+    ) -> int | None:
+        return self.solution_for(table).partition_of(key, evaluator)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def single_attribute(
+        cls,
+        num_partitions: int,
+        table_paths: Mapping[str, JoinPath],
+        mapping: MappingFunction | None = None,
+        replicated: Iterable[str] = (),
+        name: str = "partitioning",
+    ) -> "DatabasePartitioning":
+        """All tables follow paths to one root, sharing one mapping."""
+        mapping = mapping or HashMapping(num_partitions)
+        out = cls(num_partitions, name=name)
+        for table, path in table_paths.items():
+            out.set(TableSolution(table, path, mapping))
+        for table in replicated:
+            out.set(TableSolution(table))
+        return out
+
+    @classmethod
+    def from_tree(
+        cls,
+        num_partitions: int,
+        tree: JoinTree,
+        mapping: MappingFunction | None = None,
+        replicated: Iterable[str] = (),
+        name: str = "partitioning",
+    ) -> "DatabasePartitioning":
+        return cls.single_attribute(
+            num_partitions, dict(tree.paths), mapping, replicated, name
+        )
+
+    def describe(self) -> str:
+        lines = [f"{self.name} (k={self.num_partitions})"]
+        for table in sorted(self._solutions):
+            lines.append(f"  {self._solutions[table]}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"DatabasePartitioning({self.name!r}, k={self.num_partitions}, "
+            f"tables={len(self._solutions)})"
+        )

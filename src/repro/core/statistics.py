@@ -1,0 +1,129 @@
+"""Statistics-based fallback mapping (Section 5.3).
+
+When no join tree is mapping independent, JECB builds a Schism-style
+mapping *at the granularity of root-attribute values*: transactions'
+root-value sets form a co-access graph, min-cut partitioning assigns each
+value to a partition, and the resulting lookup mapping is accepted only if
+it beats both hash and range mappings on a held-out trace. This is where
+JECB's scalability advantage over Schism shows: the graph has one node per
+distinct root value, not per tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.join_tree import JoinTree
+from repro.core.mapping import (
+    HashMapping,
+    LookupMapping,
+    MappingFunction,
+    RangeMapping,
+)
+from repro.core.path_eval import JoinPathEvaluator
+from repro.core.solution import DatabasePartitioning
+from repro.evaluation.evaluator import PartitioningEvaluator
+from repro.graphs.mincut import build_coaccess_graph, partition_graph
+from repro.storage.database import Database
+from repro.trace.events import Trace
+
+
+@dataclass
+class FallbackResult:
+    """Outcome of the statistics fallback for one join tree."""
+
+    mapping: LookupMapping
+    lookup_cost: float
+    hash_cost: float
+    range_cost: float
+    #: finite-sample noise guard: the lookup mapping must beat hash and
+    #: range by at least this margin, otherwise a workload with *no*
+    #: exploitable co-access structure (e.g. Broker-Volume's uniformly
+    #: random broker sets) would occasionally be declared partitionable.
+    margin: float = 0.03
+
+    @property
+    def meaningful(self) -> bool:
+        """Paper's acceptance rule: beats hash *and* range (with margin)."""
+        return (
+            self.lookup_cost < self.hash_cost - self.margin
+            and self.lookup_cost < self.range_cost - self.margin
+        )
+
+
+def transaction_root_values(
+    tree: JoinTree, trace: Trace, evaluator: JoinPathEvaluator
+) -> list[set[Any]]:
+    """Per-transaction sets of root values (unroutable tuples skipped)."""
+    groups: list[set[Any]] = []
+    for txn in trace:
+        values: set[Any] = set()
+        for table, key in txn.tuples:
+            path = tree.paths.get(table)
+            if path is None:
+                continue
+            value = evaluator.evaluate(path, key)
+            if value is not None:
+                values.add(value)
+        if values:
+            groups.append(values)
+    return groups
+
+
+def build_statistics_mapping(
+    tree: JoinTree,
+    train_trace: Trace,
+    num_partitions: int,
+    evaluator: JoinPathEvaluator,
+    seed: int = 7,
+) -> LookupMapping:
+    """Min-cut the root-value co-access graph into a lookup mapping."""
+    groups = transaction_root_values(tree, train_trace, evaluator)
+    graph = build_coaccess_graph(groups)
+    assignment = partition_graph(graph, num_partitions, seed=seed)
+    table = {value: part + 1 for value, part in assignment.items()}
+    return LookupMapping(
+        num_partitions, table, fallback=HashMapping(num_partitions)
+    )
+
+
+def evaluate_fallback(
+    tree: JoinTree,
+    train_trace: Trace,
+    validation_trace: Trace,
+    num_partitions: int,
+    database: Database,
+    seed: int = 7,
+    path_evaluator: JoinPathEvaluator | None = None,
+) -> FallbackResult:
+    """Build the statistics mapping and score it against hash and range."""
+    if path_evaluator is None:
+        path_evaluator = JoinPathEvaluator(database)
+    lookup = build_statistics_mapping(
+        tree, train_trace, num_partitions, path_evaluator, seed
+    )
+    observed = [
+        v
+        for group in transaction_root_values(tree, train_trace, path_evaluator)
+        for v in group
+    ]
+    candidates: list[tuple[str, MappingFunction]] = [
+        ("lookup", lookup),
+        ("hash", HashMapping(num_partitions)),
+        ("range", RangeMapping.from_values(num_partitions, observed)),
+    ]
+    evaluator = PartitioningEvaluator(database)
+    evaluator.path_evaluator = path_evaluator  # share the memo cache
+    costs: dict[str, float] = {}
+    for name, mapping in candidates:
+        partitioning = DatabasePartitioning.from_tree(
+            num_partitions, tree, mapping, name=f"fallback-{name}"
+        )
+        costs[name] = evaluator.cost(partitioning, validation_trace)
+    return FallbackResult(
+        mapping=lookup,
+        lookup_cost=costs["lookup"],
+        hash_cost=costs["hash"],
+        range_cost=costs["range"],
+    )

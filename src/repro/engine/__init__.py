@@ -1,0 +1,5 @@
+"""Query executor: runs parsed SQL statements against the storage engine."""
+
+from repro.engine.executor import ExecResult, Executor
+
+__all__ = ["ExecResult", "Executor"]

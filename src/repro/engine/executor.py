@@ -1,0 +1,478 @@
+"""Statement execution against the in-memory database.
+
+The executor is deliberately simple — OLTP statements touch a handful of
+rows via keys — but general: it classifies WHERE predicates into per-table
+equality constraints (served by hash indexes), join conditions (served by
+index nested-loop joins), and residual filters.
+
+Every row that contributes to a statement's result is reported through the
+``on_access`` callback as ``(table, primary_key, is_write)``; this is the
+hook the trace collector uses, mirroring the paper's instrumented stored
+procedures (Section 4 / Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, MutableMapping, Sequence
+
+from repro.errors import ExecutionError, SchemaError
+from repro.engine import expression as ex
+from repro.schema.database import DatabaseSchema
+from repro.sql import ast
+from repro.storage.database import Database
+from repro.storage.table import KeyValue, Row
+
+AccessCallback = Callable[[str, KeyValue, bool], None]
+
+
+@dataclass
+class ExecResult:
+    """Outcome of one statement.
+
+    ``rows`` holds projected output dicts for SELECT; ``affected`` counts
+    modified rows for INSERT/UPDATE/DELETE.
+    """
+
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    affected: int = 0
+
+    @property
+    def scalar(self) -> Any:
+        """First column of the first row (None when empty)."""
+        if not self.rows:
+            return None
+        first = self.rows[0]
+        return next(iter(first.values())) if first else None
+
+
+@dataclass
+class _TablePlan:
+    """Per-table pieces of a WHERE clause."""
+
+    eq: list[tuple[str, ast.Expr]] = field(default_factory=list)
+    in_preds: list[ast.InPredicate] = field(default_factory=list)
+    filters: list[ast.Predicate] = field(default_factory=list)
+
+
+class Executor:
+    """Runs parsed statements against one :class:`Database`."""
+
+    def __init__(
+        self, database: Database, on_access: AccessCallback | None = None
+    ) -> None:
+        self.database = database
+        self.on_access = on_access
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        statement: ast.Statement,
+        params: MutableMapping[str, Any] | None = None,
+    ) -> ExecResult:
+        """Execute *statement* with parameter bindings *params*.
+
+        ``@var =`` SELECT targets write back into *params*, so procedures
+        can thread values between statements.
+        """
+        params = params if params is not None else {}
+        if isinstance(statement, ast.Select):
+            return self._execute_select(statement, params)
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement, params)
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement, params)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement, params)
+        raise ExecutionError(f"unsupported statement {type(statement).__name__}")
+
+    # ------------------------------------------------------------------
+    # resolution helpers
+    # ------------------------------------------------------------------
+    @property
+    def _schema(self) -> DatabaseSchema:
+        return self.database.schema
+
+    def _resolve(self, ref: ast.ColumnRef, tables: Sequence[str]) -> tuple[str, str]:
+        if ref.table is not None:
+            if ref.table not in tables:
+                raise ExecutionError(f"{ref} references a table not in FROM")
+            return ref.table, ref.name
+        try:
+            attr = self._schema.resolve_column(ref.name, among_tables=tables)
+        except SchemaError as exc:
+            raise ExecutionError(str(exc)) from None
+        return attr.table, attr.column
+
+    @staticmethod
+    def _is_scalar(expr: ast.Expr) -> bool:
+        if isinstance(expr, ast.ColumnRef):
+            return False
+        if isinstance(expr, ast.BinaryOp):
+            return Executor._is_scalar(expr.left) and Executor._is_scalar(expr.right)
+        return True
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+    def _execute_select(
+        self, stmt: ast.Select, params: MutableMapping[str, Any]
+    ) -> ExecResult:
+        tables = list(stmt.tables)
+        plans: dict[str, _TablePlan] = {t: _TablePlan() for t in tables}
+        join_conds: list[tuple[tuple[str, str], tuple[str, str]]] = []
+        for join in stmt.joins:
+            left = self._resolve(join.left, tables)
+            right = self._resolve(join.right, tables)
+            join_conds.append((left, right))
+        self._classify_predicates(stmt.where, tables, plans, join_conds)
+
+        combos = self._join(tables, plans, join_conds, params)
+        contributing: dict[str, set[KeyValue]] = {t: set() for t in tables}
+        for combo in combos:
+            for table_name, row in combo.items():
+                key = self.database.table(table_name).primary_key_of(row)
+                contributing[table_name].add(key)
+        for table_name, keys in contributing.items():
+            for key in sorted(keys, key=repr):
+                self._record(table_name, key, is_write=False)
+
+        rows = self._project(stmt, tables, combos, params)
+        return ExecResult(rows=rows)
+
+    def _classify_predicates(
+        self,
+        predicates: tuple[ast.Predicate, ...],
+        tables: Sequence[str],
+        plans: dict[str, _TablePlan],
+        join_conds: list[tuple[tuple[str, str], tuple[str, str]]],
+    ) -> None:
+        for pred in predicates:
+            if isinstance(pred, ast.Comparison):
+                left_col = isinstance(pred.left, ast.ColumnRef)
+                right_col = isinstance(pred.right, ast.ColumnRef)
+                if left_col and right_col:
+                    left = self._resolve(pred.left, tables)
+                    right = self._resolve(pred.right, tables)
+                    if pred.op == "=" and left[0] != right[0]:
+                        join_conds.append((left, right))
+                    else:
+                        # same-table column comparison: residual filter
+                        plans[left[0]].filters.append(pred)
+                    continue
+                if left_col or right_col:
+                    ref = pred.left if left_col else pred.right
+                    table, column = self._resolve(ref, tables)  # type: ignore[arg-type]
+                    other = pred.right if left_col else pred.left
+                    if pred.op == "=" and self._is_scalar(other):
+                        plans[table].eq.append((column, other))
+                    else:
+                        plans[table].filters.append(pred)
+                    continue
+                raise ExecutionError(f"predicate {pred} references no column")
+            elif isinstance(pred, ast.InPredicate):
+                table, _ = self._resolve(pred.column, tables)
+                plans[table].in_preds.append(pred)
+            else:  # Between
+                table, _ = self._resolve(pred.column, tables)
+                plans[table].filters.append(pred)
+
+    def _order_tables(
+        self,
+        tables: Sequence[str],
+        plans: dict[str, _TablePlan],
+        join_conds: list[tuple[tuple[str, str], tuple[str, str]]],
+    ) -> list[str]:
+        """Greedy join order: most-constrained table first, then connected."""
+
+        def constraint_score(name: str) -> tuple[int, int]:
+            plan = plans[name]
+            return (len(plan.eq), len(plan.in_preds))
+
+        remaining = list(tables)
+        remaining.sort(key=constraint_score, reverse=True)
+        ordered = [remaining.pop(0)]
+        while remaining:
+            placed = set(ordered)
+            for i, name in enumerate(remaining):
+                connected = any(
+                    (a[0] == name and b[0] in placed)
+                    or (b[0] == name and a[0] in placed)
+                    for a, b in join_conds
+                )
+                if connected:
+                    ordered.append(remaining.pop(i))
+                    break
+            else:
+                ordered.append(remaining.pop(0))
+        return ordered
+
+    def _join(
+        self,
+        tables: Sequence[str],
+        plans: dict[str, _TablePlan],
+        join_conds: list[tuple[tuple[str, str], tuple[str, str]]],
+        params: Mapping[str, Any],
+    ) -> list[dict[str, Row]]:
+        order = self._order_tables(tables, plans, join_conds)
+        combos: list[dict[str, Row]] = [{}]
+        for table_name in order:
+            next_combos: list[dict[str, Row]] = []
+            for combo in combos:
+                for row in self._fetch(table_name, plans[table_name], join_conds, combo, params):
+                    extended = dict(combo)
+                    extended[table_name] = row
+                    next_combos.append(extended)
+            combos = next_combos
+            if not combos:
+                return []
+        return combos
+
+    def _fetch(
+        self,
+        table_name: str,
+        plan: _TablePlan,
+        join_conds: list[tuple[tuple[str, str], tuple[str, str]]],
+        combo: dict[str, Row],
+        params: Mapping[str, Any],
+    ):
+        """Rows of *table_name* satisfying its constraints given *combo*."""
+        table = self.database.table(table_name)
+        eq_cols: list[str] = []
+        eq_vals: list[Any] = []
+        for column, expr in plan.eq:
+            eq_cols.append(column)
+            eq_vals.append(ex.eval_scalar(expr, params))
+        pending_joins: list[tuple[tuple[str, str], tuple[str, str]]] = []
+        for left, right in join_conds:
+            if left[0] == table_name and right[0] in combo:
+                eq_cols.append(left[1])
+                eq_vals.append(combo[right[0]][right[1]])
+            elif right[0] == table_name and left[0] in combo:
+                eq_cols.append(right[1])
+                eq_vals.append(combo[left[0]][left[1]])
+            elif table_name in (left[0], right[0]):
+                pending_joins.append((left, right))
+
+        if eq_cols:
+            candidates = table.lookup(tuple(eq_cols), tuple(eq_vals))
+        else:
+            candidates = self._fetch_by_in(table, plan, params)
+
+        for row in candidates:
+            if self._row_passes(row, plan, params):
+                yield row
+
+    def _fetch_by_in(self, table, plan: _TablePlan, params: Mapping[str, Any]):
+        """Serve an unanchored table from IN-predicate lookups if possible."""
+        for pred in plan.in_preds:
+            column = pred.column.name
+            values = self._in_candidates(pred, params)
+            rows: list[Row] = []
+            seen: set[int] = set()
+            for value in values:
+                for row in table.lookup((column,), (value,)):
+                    if id(row) not in seen:
+                        seen.add(id(row))
+                        rows.append(row)
+            return rows
+        return list(table.scan())
+
+    def _in_candidates(
+        self, pred: ast.InPredicate, params: Mapping[str, Any]
+    ) -> list[Any]:
+        if pred.param is not None:
+            value = ex.eval_scalar(pred.param, params)
+            if not isinstance(value, (list, tuple, set, frozenset)):
+                raise ExecutionError(
+                    f"IN parameter @{pred.param.name} must be a collection, "
+                    f"got {type(value).__name__}"
+                )
+            return list(value)
+        return [ex.eval_scalar(v, params) for v in pred.values or ()]
+
+    def _row_passes(
+        self, row: Row, plan: _TablePlan, params: Mapping[str, Any]
+    ) -> bool:
+        for pred in plan.in_preds:
+            if not ex.in_values(row[pred.column.name], self._in_candidates(pred, params)):
+                return False
+        for pred in plan.filters:
+            if isinstance(pred, ast.Comparison):
+                left = self._pred_side(pred.left, row, params)
+                right = self._pred_side(pred.right, row, params)
+                if not ex.compare(pred.op, left, right):
+                    return False
+            elif isinstance(pred, ast.BetweenPredicate):
+                value = row[pred.column.name]
+                low = ex.eval_scalar(pred.low, params)
+                high = ex.eval_scalar(pred.high, params)
+                if value is None or not (low <= value <= high):
+                    return False
+        return True
+
+    @staticmethod
+    def _pred_side(expr: ast.Expr, row: Row, params: Mapping[str, Any]) -> Any:
+        if isinstance(expr, ast.ColumnRef):
+            return row[expr.name]
+        return ex.eval_in_row(expr, row, params)
+
+    # ------------------------------------------------------------------
+    # projection / aggregation
+    # ------------------------------------------------------------------
+    def _project(
+        self,
+        stmt: ast.Select,
+        tables: Sequence[str],
+        combos: list[dict[str, Row]],
+        params: MutableMapping[str, Any],
+    ) -> list[dict[str, Any]]:
+        if stmt.order_by is not None:
+            table, column = self._resolve(stmt.order_by.column, tables)
+            combos = sorted(
+                combos,
+                key=lambda c: (c[table][column] is None, c[table][column]),
+                reverse=stmt.order_by.descending,
+            )
+
+        has_aggregate = any(item.aggregate for item in stmt.items)
+        if has_aggregate:
+            row = self._aggregate_row(stmt, tables, combos, params)
+            rows = [row]
+        else:
+            rows = []
+            for combo in combos:
+                out: dict[str, Any] = {}
+                for item in stmt.items:
+                    if item.expr.name == "*":
+                        for table_name in tables:
+                            out.update(combo[table_name])
+                    else:
+                        table, column = self._resolve(item.expr, tables)
+                        out[item.alias or column] = combo[table][column]
+                        if item.assign_to is not None:
+                            # last row wins, matching T-SQL semantics
+                            params[item.assign_to] = combo[table][column]
+                rows.append(out)
+            if not rows:
+                for item in stmt.items:
+                    if item.assign_to is not None:
+                        params[item.assign_to] = None
+            if stmt.distinct:
+                unique: list[dict[str, Any]] = []
+                seen: set[tuple] = set()
+                for out in rows:
+                    marker = tuple(sorted(out.items(), key=lambda kv: kv[0]))
+                    if marker not in seen:
+                        seen.add(marker)
+                        unique.append(out)
+                rows = unique
+        if stmt.limit is not None:
+            rows = rows[: stmt.limit]
+        return rows
+
+    def _aggregate_row(
+        self,
+        stmt: ast.Select,
+        tables: Sequence[str],
+        combos: list[dict[str, Row]],
+        params: MutableMapping[str, Any],
+    ) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        for item in stmt.items:
+            if not item.aggregate:
+                raise ExecutionError(
+                    "mixing aggregates and plain columns is not supported"
+                )
+            name = item.alias or f"{item.aggregate.lower()}"
+            if item.expr.name == "*":
+                values = [1] * len(combos)
+            else:
+                table, column = self._resolve(item.expr, tables)
+                values = [
+                    c[table][column] for c in combos if c[table][column] is not None
+                ]
+            value = self._apply_aggregate(item.aggregate, values)
+            out[name] = value
+            if item.assign_to is not None:
+                params[item.assign_to] = value
+        return out
+
+    @staticmethod
+    def _apply_aggregate(func: str, values: list[Any]) -> Any:
+        if func == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if func == "SUM":
+            return sum(values)
+        if func == "AVG":
+            return sum(values) / len(values)
+        if func == "MIN":
+            return min(values)
+        if func == "MAX":
+            return max(values)
+        raise ExecutionError(f"unknown aggregate {func}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def _execute_insert(
+        self, stmt: ast.Insert, params: MutableMapping[str, Any]
+    ) -> ExecResult:
+        table = self.database.table(stmt.table)
+        row: dict[str, Any] = {c: None for c in table.schema.column_names}
+        for column, expr in zip(stmt.columns, stmt.values):
+            if column not in row:
+                raise ExecutionError(f"no column {column} in {stmt.table}")
+            row[column] = ex.eval_scalar(expr, params)
+        key = table.insert(row)
+        self._record(stmt.table, key, is_write=True)
+        return ExecResult(affected=1)
+
+    def _execute_update(
+        self, stmt: ast.Update, params: MutableMapping[str, Any]
+    ) -> ExecResult:
+        matched = self._single_table_matches(stmt.table, stmt.where, params)
+        table = self.database.table(stmt.table)
+        count = 0
+        for row in matched:
+            changes = {
+                column: ex.eval_in_row(expr, row, params)
+                for column, expr in stmt.assignments
+            }
+            key = table.primary_key_of(row)
+            table.update(key, changes)
+            self._record(stmt.table, key, is_write=True)
+            count += 1
+        return ExecResult(affected=count)
+
+    def _execute_delete(
+        self, stmt: ast.Delete, params: MutableMapping[str, Any]
+    ) -> ExecResult:
+        matched = self._single_table_matches(stmt.table, stmt.where, params)
+        table = self.database.table(stmt.table)
+        keys = [table.primary_key_of(row) for row in matched]
+        for key in keys:
+            table.delete(key)
+            self._record(stmt.table, key, is_write=True)
+        return ExecResult(affected=len(keys))
+
+    def _single_table_matches(
+        self,
+        table_name: str,
+        where: tuple[ast.Predicate, ...],
+        params: Mapping[str, Any],
+    ) -> list[Row]:
+        plans = {table_name: _TablePlan()}
+        join_conds: list[tuple[tuple[str, str], tuple[str, str]]] = []
+        self._classify_predicates(where, [table_name], plans, join_conds)
+        if join_conds:
+            raise ExecutionError("join conditions are not allowed here")
+        return list(self._fetch(table_name, plans[table_name], [], {}, params))
+
+    def _record(self, table: str, key: KeyValue, is_write: bool) -> None:
+        if self.on_access is not None:
+            self.on_access(table, key, is_write)

@@ -1,0 +1,78 @@
+"""Scalar expression and predicate evaluation for the executor."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import BindingError, ExecutionError
+from repro.sql import ast
+
+RowEnv = Mapping[str, Mapping[str, Any]]  # table name -> row dict
+
+
+def eval_scalar(
+    expr: ast.Expr, params: Mapping[str, Any]
+) -> Any:
+    """Evaluate an expression that must not reference columns."""
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Param):
+        if expr.name not in params:
+            raise BindingError(f"unbound parameter @{expr.name}")
+        return params[expr.name]
+    if isinstance(expr, ast.BinaryOp):
+        left = eval_scalar(expr.left, params)
+        right = eval_scalar(expr.right, params)
+        return left + right if expr.op == "+" else left - right
+    raise ExecutionError(f"column reference {expr} where a scalar was expected")
+
+
+def eval_in_row(
+    expr: ast.Expr,
+    row: Mapping[str, Any],
+    params: Mapping[str, Any],
+) -> Any:
+    """Evaluate an expression in the context of one row (UPDATE SET side)."""
+    if isinstance(expr, ast.ColumnRef):
+        if expr.name not in row:
+            raise ExecutionError(f"row has no column {expr.name}")
+        return row[expr.name]
+    if isinstance(expr, ast.BinaryOp):
+        left = eval_in_row(expr.left, row, params)
+        right = eval_in_row(expr.right, row, params)
+        return left + right if expr.op == "+" else left - right
+    return eval_scalar(expr, params)
+
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def compare(op: str, left: Any, right: Any) -> bool:
+    """SQL-ish comparison: anything compared to NULL is false."""
+    if left is None or right is None:
+        return False
+    try:
+        return _COMPARATORS[op](left, right)
+    except KeyError:
+        raise ExecutionError(f"unknown comparison operator {op!r}") from None
+    except TypeError as exc:
+        raise ExecutionError(f"incomparable values {left!r} {op} {right!r}") from exc
+
+
+def in_values(value: Any, candidates: Any) -> bool:
+    """Membership test for IN; *candidates* must be an iterable."""
+    if value is None:
+        return False
+    try:
+        return value in candidates
+    except TypeError as exc:
+        raise ExecutionError(
+            f"IN parameter must be a collection, got {type(candidates).__name__}"
+        ) from exc

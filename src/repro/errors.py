@@ -1,0 +1,61 @@
+"""Exception hierarchy for the JECB reproduction library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Subsystems raise the most specific subclass available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """Invalid schema definition (unknown table/column, bad key, bad FK)."""
+
+
+class IntegrityError(ReproError):
+    """A data operation violated a key or referential-integrity constraint."""
+
+
+class StorageError(ReproError):
+    """Invalid storage operation (missing row, duplicate key, bad table)."""
+
+
+class SQLSyntaxError(ReproError):
+    """The SQL tokenizer or parser rejected a statement."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class ExecutionError(ReproError):
+    """The query executor could not run a (syntactically valid) statement."""
+
+
+class BindingError(ExecutionError):
+    """A statement referenced a parameter that was not supplied."""
+
+
+class AnalysisError(ReproError):
+    """Static SQL analysis failed (e.g. unresolvable column reference)."""
+
+
+class PartitioningError(ReproError):
+    """A partitioning algorithm was misused or hit an unrecoverable state."""
+
+
+class JoinPathError(PartitioningError):
+    """A sequence of attribute sets does not form a valid Definition-2 path."""
+
+
+class RoutingError(ReproError):
+    """The runtime router could not route a request."""
+
+
+class WorkloadError(ReproError):
+    """A benchmark workload was configured or driven incorrectly."""

@@ -1,0 +1,24 @@
+"""Partitioning evaluation: cost models, the evaluator, resource metering,
+and the end-to-end framework of Figure 4."""
+
+from repro.evaluation.evaluator import CostReport, PartitioningEvaluator
+from repro.evaluation.resources import ResourceMeter, ResourceUsage
+from repro.evaluation.cost_models import (
+    CostModel,
+    FractionDistributed,
+    SitesTouched,
+    WeightedLatency,
+    evaluate_model,
+)
+
+__all__ = [
+    "PartitioningEvaluator",
+    "CostReport",
+    "ResourceMeter",
+    "ResourceUsage",
+    "CostModel",
+    "FractionDistributed",
+    "SitesTouched",
+    "WeightedLatency",
+    "evaluate_model",
+]

@@ -1,0 +1,104 @@
+"""The partitioning evaluator: Definitions 5 and 6.
+
+Given a database partitioning and a (testing) trace, compute the fraction
+of distributed transactions. A transaction is distributed when
+
+1. it **writes** a replicated tuple (table replicated, or its value mapped
+   to partition 0), or
+2. the tuples it accesses span **more than one partition**.
+
+Tuples whose join path cannot produce a root value are unroutable — they
+would have to be located by broadcast — and make the transaction count as
+distributed (the conservative reading the paper's router section implies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.path_eval import JoinPathEvaluator
+from repro.core.mapping import REPLICATED
+from repro.core.solution import DatabasePartitioning
+from repro.storage.database import Database
+from repro.trace.events import Trace, TransactionTrace
+
+
+@dataclass
+class CostReport:
+    """Aggregate and per-class distributed-transaction fractions."""
+
+    total_transactions: int = 0
+    distributed_transactions: int = 0
+    per_class_total: dict[str, int] = field(default_factory=dict)
+    per_class_distributed: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cost(self) -> float:
+        """Definition 6: fraction of distributed transactions."""
+        if self.total_transactions == 0:
+            return 0.0
+        return self.distributed_transactions / self.total_transactions
+
+    def class_cost(self, class_name: str) -> float:
+        total = self.per_class_total.get(class_name, 0)
+        if total == 0:
+            return 0.0
+        return self.per_class_distributed.get(class_name, 0) / total
+
+    @property
+    def class_costs(self) -> dict[str, float]:
+        return {name: self.class_cost(name) for name in self.per_class_total}
+
+    def __str__(self) -> str:
+        lines = [
+            f"cost: {self.cost:.1%} "
+            f"({self.distributed_transactions}/{self.total_transactions} distributed)"
+        ]
+        for name in sorted(self.per_class_total):
+            lines.append(f"  {name}: {self.class_cost(name):.1%}")
+        return "\n".join(lines)
+
+
+class PartitioningEvaluator:
+    """Applies a partitioning to a trace and reports its cost (Figure 4)."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self.path_evaluator = JoinPathEvaluator(database)
+
+    def transaction_is_distributed(
+        self, txn: TransactionTrace, partitioning: DatabasePartitioning
+    ) -> bool:
+        """Definition 5 for a single transaction."""
+        partitions: set[int] = set()
+        for access in txn.accesses:
+            solution = partitioning.solution_for(access.table)
+            pid = solution.partition_of(access.key, self.path_evaluator)
+            if pid is None:
+                return True  # unroutable tuple: must broadcast
+            if pid == REPLICATED:
+                if access.write:
+                    return True  # condition 1: writes a replicated tuple
+                continue  # replicated reads are local anywhere
+            partitions.add(pid)
+        return len(partitions) > 1  # condition 2
+
+    def evaluate(
+        self, partitioning: DatabasePartitioning, trace: Trace
+    ) -> CostReport:
+        """Cost of *partitioning* over *trace* with per-class breakdown."""
+        report = CostReport()
+        for txn in trace:
+            report.total_transactions += 1
+            report.per_class_total[txn.class_name] = (
+                report.per_class_total.get(txn.class_name, 0) + 1
+            )
+            if self.transaction_is_distributed(txn, partitioning):
+                report.distributed_transactions += 1
+                report.per_class_distributed[txn.class_name] = (
+                    report.per_class_distributed.get(txn.class_name, 0) + 1
+                )
+        return report
+
+    def cost(self, partitioning: DatabasePartitioning, trace: Trace) -> float:
+        return self.evaluate(partitioning, trace).cost

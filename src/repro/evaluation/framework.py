@@ -1,0 +1,128 @@
+"""The data-partitioning evaluation framework of Figure 4.
+
+One object wires the whole experiment together: generate (or accept) a
+workload bundle, split its trace into training and testing halves, run any
+number of partitioners on the training half, and score every resulting
+partitioning on the testing half — with optional resource metering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.partitioner import JECBConfig, JECBPartitioner
+from repro.core.solution import DatabasePartitioning
+from repro.baselines.horticulture import (
+    HorticultureConfig,
+    HorticulturePartitioner,
+)
+from repro.baselines.schism import SchismConfig, SchismPartitioner
+from repro.evaluation.evaluator import CostReport, PartitioningEvaluator
+from repro.evaluation.resources import ResourceMeter, ResourceUsage
+from repro.trace.events import Trace
+from repro.trace.splitter import subsample, train_test_split
+from repro.workloads.base import WorkloadBundle
+
+
+@dataclass
+class ExperimentRun:
+    """One partitioner's outcome on one workload."""
+
+    name: str
+    partitioning: DatabasePartitioning
+    report: CostReport
+    resources: ResourceUsage | None = None
+
+    @property
+    def cost(self) -> float:
+        return self.report.cost
+
+
+@dataclass
+class PartitioningExperiment:
+    """Figure 4: trace collector -> partitioner -> partitioning evaluator."""
+
+    bundle: WorkloadBundle
+    train_fraction: float = 0.5
+    runs: list[ExperimentRun] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.training_trace, self.testing_trace = train_test_split(
+            self.bundle.trace, self.train_fraction
+        )
+        self.evaluator = PartitioningEvaluator(self.bundle.database)
+
+    # ------------------------------------------------------------------
+    # partitioner runners
+    # ------------------------------------------------------------------
+    def run_jecb(
+        self,
+        config: JECBConfig | None = None,
+        name: str = "jecb",
+        meter: bool = False,
+    ) -> ExperimentRun:
+        partitioner = JECBPartitioner(
+            self.bundle.database, self.bundle.catalog, config
+        )
+        return self._run(name, lambda: partitioner.run(self.training_trace).partitioning, meter)
+
+    def run_schism(
+        self,
+        config: SchismConfig | None = None,
+        coverage: float = 1.0,
+        name: str | None = None,
+        meter: bool = False,
+    ) -> ExperimentRun:
+        partitioner = SchismPartitioner(self.bundle.database, config)
+        trace = subsample(self.training_trace, coverage)
+        label = name or f"schism-{coverage:.0%}"
+        return self._run(label, lambda: partitioner.run(trace).partitioning, meter)
+
+    def run_horticulture(
+        self,
+        config: HorticultureConfig | None = None,
+        name: str = "horticulture",
+        meter: bool = False,
+    ) -> ExperimentRun:
+        partitioner = HorticulturePartitioner(
+            self.bundle.database, self.bundle.catalog, config
+        )
+        return self._run(name, lambda: partitioner.run(self.training_trace).partitioning, meter)
+
+    def run_fixed(
+        self, partitioning: DatabasePartitioning, name: str | None = None
+    ) -> ExperimentRun:
+        """Score a pre-built partitioning (published solutions, optima)."""
+        return self._run(name or partitioning.name, lambda: partitioning, False)
+
+    def _run(
+        self,
+        name: str,
+        produce: Callable[[], DatabasePartitioning],
+        meter: bool,
+    ) -> ExperimentRun:
+        resources = None
+        if meter:
+            with ResourceMeter() as meter_ctx:
+                partitioning = produce()
+            resources = meter_ctx.usage
+        else:
+            partitioning = produce()
+        report = self.evaluator.evaluate(partitioning, self.testing_trace)
+        run = ExperimentRun(name, partitioning, report, resources)
+        self.runs.append(run)
+        return run
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        width = max((len(r.name) for r in self.runs), default=4)
+        lines = [f"{self.bundle.benchmark.name}: % distributed transactions"]
+        for run in self.runs:
+            line = f"  {run.name:<{width}}  {run.cost:7.1%}"
+            if run.resources is not None:
+                line += f"  ({run.resources})"
+            lines.append(line)
+        return "\n".join(lines)

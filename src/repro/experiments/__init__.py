@@ -1,0 +1,26 @@
+"""Reproduction experiments as a library + CLI.
+
+`python -m repro.experiments <name>` runs one of the paper's experiments
+at a configurable scale and prints its table. The heavy, assertion-
+checked versions live under `benchmarks/`; this package gives downstream
+users a programmatic entry point::
+
+    from repro.experiments import figure7
+    rows = figure7(scale=0.5)
+"""
+
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    figure5,
+    figure7,
+    section76,
+    tpce_case_study,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "figure5",
+    "figure7",
+    "section76",
+    "tpce_case_study",
+]

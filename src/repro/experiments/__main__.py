@@ -1,0 +1,61 @@
+"""CLI entry point: ``python -m repro.experiments [name] [--scale S]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.runner import EXPERIMENTS
+
+
+def _render(headers: list[str], rows: list[list]) -> str:
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+        if rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = ["  ".join(str(h).ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the JECB paper's experiments (quick variants).",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        default="all",
+        help="which experiment to run (default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.5,
+        help="transaction-count multiplier (default 0.5 for a quick run)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override seed")
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        runner = EXPERIMENTS[name]
+        started = time.time()
+        kwargs = {"scale": args.scale}
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        headers, rows = runner(**kwargs)
+        print(f"\n== {name} ({time.time() - started:.1f}s) ==")
+        print(_render(headers, rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

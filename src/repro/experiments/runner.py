@@ -1,0 +1,149 @@
+"""Programmatic experiment runners (scaled-down, no assertions).
+
+Each function regenerates one of the paper's results and returns rows of
+plain data; the CLI in :mod:`repro.experiments.__main__` renders them.
+``scale`` multiplies the default transaction counts, so ``scale=0.25``
+gives a fast smoke run and ``scale=2.0`` a higher-fidelity one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines import SchismConfig, SchismPartitioner
+from repro.baselines.published import build_spec_partitioning
+from repro.core import JECBConfig, JECBPartitioner
+from repro.evaluation import PartitioningEvaluator
+from repro.trace import subsample, train_test_split
+from repro.workloads.synthetic import (
+    SyntheticBenchmark,
+    SyntheticConfig,
+    group_partitioning,
+)
+from repro.workloads.tatp import TatpBenchmark, TatpConfig
+from repro.workloads.tpcc import TpccBenchmark, TpccConfig
+from repro.workloads.tpce import HORTICULTURE_SPEC, TpceBenchmark, TpceConfig
+
+Row = list
+
+
+def _count(base: int, scale: float) -> int:
+    return max(int(base * scale), 100)
+
+
+def figure5(scale: float = 1.0, seed: int = 11) -> tuple[list[str], list[Row]]:
+    """TPC-C: % distributed vs partition count, Schism coverages vs JECB."""
+    bundle = TpccBenchmark(TpccConfig(warehouses=16)).generate(
+        _count(4000, scale), seed=seed
+    )
+    train, test = train_test_split(bundle.trace, 0.5)
+    evaluator = PartitioningEvaluator(bundle.database)
+    partition_counts = (2, 4, 8, 16)
+    rows: list[Row] = []
+    for coverage in (0.05, 0.2, 1.0):
+        row: Row = [f"schism {coverage:.0%}"]
+        sub = subsample(train, coverage)
+        for k in partition_counts:
+            result = SchismPartitioner(
+                bundle.database, SchismConfig(num_partitions=k)
+            ).run(sub)
+            row.append(f"{evaluator.cost(result.partitioning, test):.1%}")
+        rows.append(row)
+    row = ["jecb"]
+    for k in partition_counts:
+        result = JECBPartitioner(
+            bundle.database, bundle.catalog, JECBConfig(num_partitions=k)
+        ).run(train)
+        row.append(f"{evaluator.cost(result.partitioning, test):.1%}")
+    rows.append(row)
+    headers = ["series"] + [f"k={k}" for k in partition_counts]
+    return headers, rows
+
+
+def figure7(scale: float = 1.0, seed: int = 17) -> tuple[list[str], list[Row]]:
+    """JECB vs Schism across benchmarks at k=8 (quick variant)."""
+    k = 8
+    benchmarks = [
+        ("tpcc", TpccBenchmark(TpccConfig(warehouses=8)), _count(2500, scale)),
+        ("tatp", TatpBenchmark(TatpConfig(subscribers=1000)), _count(2500, scale)),
+        ("tpce", TpceBenchmark(TpceConfig()), _count(3000, scale)),
+    ]
+    rows: list[Row] = []
+    for name, benchmark, count in benchmarks:
+        bundle = benchmark.generate(count, seed=seed)
+        train, test = train_test_split(bundle.trace, 0.5)
+        evaluator = PartitioningEvaluator(bundle.database)
+        jecb = JECBPartitioner(
+            bundle.database, bundle.catalog, JECBConfig(num_partitions=k)
+        ).run(train)
+        schism = SchismPartitioner(
+            bundle.database, SchismConfig(num_partitions=k)
+        ).run(subsample(train, 0.5))
+        rows.append(
+            [
+                name,
+                f"{evaluator.cost(jecb.partitioning, test):.1%}",
+                f"{evaluator.cost(schism.partitioning, test):.1%}",
+            ]
+        )
+    return ["benchmark", "JECB", "Schism 50%"], rows
+
+
+def tpce_case_study(
+    scale: float = 1.0, seed: int = 3
+) -> tuple[list[str], list[Row]]:
+    """Section 7.5: per-class costs of JECB vs Horticulture's design."""
+    bundle = TpceBenchmark(TpceConfig()).generate(
+        _count(3000, scale), seed=seed
+    )
+    train, test = train_test_split(bundle.trace, 0.5)
+    evaluator = PartitioningEvaluator(bundle.database)
+    result = JECBPartitioner(
+        bundle.database, bundle.catalog, JECBConfig(num_partitions=8)
+    ).run(train)
+    jecb_report = evaluator.evaluate(result.partitioning, test)
+    hc_report = evaluator.evaluate(
+        build_spec_partitioning(bundle.database.schema, 8, HORTICULTURE_SPEC),
+        test,
+    )
+    rows = [
+        [
+            name,
+            f"{jecb_report.class_cost(name):.0%}",
+            f"{hc_report.class_cost(name):.0%}",
+        ]
+        for name in sorted(jecb_report.per_class_total)
+    ]
+    rows.append(["TOTAL", f"{jecb_report.cost:.1%}", f"{hc_report.cost:.1%}"])
+    return ["class", "JECB", "Horticulture"], rows
+
+
+def section76(scale: float = 1.0, seed: int = 9) -> tuple[list[str], list[Row]]:
+    """Synthetic non-key-join mix sweep at k=100."""
+    k = 100
+    rows: list[Row] = []
+    for fraction in (1.0, 0.75, 0.5, 0.25, 0.0):
+        bundle = SyntheticBenchmark(
+            SyntheticConfig(schema_join_fraction=fraction)
+        ).generate(_count(1500, scale), seed=seed)
+        train, test = train_test_split(bundle.trace, 0.5)
+        evaluator = PartitioningEvaluator(bundle.database)
+        result = JECBPartitioner(
+            bundle.database, bundle.catalog, JECBConfig(num_partitions=k)
+        ).run(train)
+        rows.append(
+            [
+                f"{fraction:.0%} schema-respecting",
+                f"{evaluator.cost(result.partitioning, test):.1%}",
+                f"{evaluator.cost(group_partitioning(bundle.database.schema, k), test):.1%}",
+            ]
+        )
+    return ["mix", "JECB", "column-based"], rows
+
+
+EXPERIMENTS: dict[str, Callable[..., tuple[list[str], list[Row]]]] = {
+    "fig5": figure5,
+    "fig7": figure7,
+    "tpce": tpce_case_study,
+    "sec76": section76,
+}

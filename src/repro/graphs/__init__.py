@@ -1,0 +1,9 @@
+"""Graph utilities: the multilevel k-way min-cut partitioner.
+
+Shared by the Schism baseline (tuple co-access graphs) and JECB's
+statistics fallback (root-value co-access graphs).
+"""
+
+from repro.graphs.mincut import Graph, partition_graph
+
+__all__ = ["Graph", "partition_graph"]

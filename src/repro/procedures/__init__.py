@@ -1,0 +1,9 @@
+"""Stored procedures: the transaction templates JECB analyzes and runs."""
+
+from repro.procedures.procedure import (
+    ProcedureCatalog,
+    ProcedureContext,
+    StoredProcedure,
+)
+
+__all__ = ["StoredProcedure", "ProcedureContext", "ProcedureCatalog"]

@@ -1,0 +1,12 @@
+"""Runtime routing of transactions to partitions (Section 3).
+
+After partitioning, each incoming stored-procedure call must be routed.
+The router selects a *routing attribute* among the attributes bound to the
+procedure's parameters, consults a lookup table built over that attribute,
+and falls back to broadcast when no routable attribute exists.
+"""
+
+from repro.routing.lookup_table import LookupTable
+from repro.routing.router import Router, RouteSummary, RoutingDecision
+
+__all__ = ["LookupTable", "Router", "RouteSummary", "RoutingDecision"]

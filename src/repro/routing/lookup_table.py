@@ -1,0 +1,63 @@
+"""Lookup tables: routing-attribute value -> partition ids.
+
+The paper adopts the lookup-table approach of Tatarowicz et al. [22]: for a
+chosen column, map each value to the set of partitions holding associated
+tuples. The coarser the attribute, the smaller the table; a mapping-
+independent partitioning makes most lookups single-partition.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.mapping import REPLICATED
+from repro.core.path_eval import JoinPathEvaluator
+from repro.core.solution import DatabasePartitioning
+from repro.schema.attribute import Attr
+from repro.storage.database import Database
+
+
+class LookupTable:
+    """Partition locations of tuples, keyed by one column's values."""
+
+    def __init__(self, attribute: Attr) -> None:
+        self.attribute = attribute
+        self._partitions: dict[Any, set[int]] = {}
+
+    @classmethod
+    def build(
+        cls,
+        attribute: Attr,
+        database: Database,
+        partitioning: DatabasePartitioning,
+        evaluator: JoinPathEvaluator | None = None,
+    ) -> "LookupTable":
+        """Scan *attribute*'s table and record each value's partitions.
+
+        Rows in replicated tables (or values mapped to partition 0)
+        contribute no location constraint — they are everywhere.
+        """
+        evaluator = evaluator or JoinPathEvaluator(database)
+        table = database.table(attribute.table)
+        out = cls(attribute)
+        solution = partitioning.solution_for(attribute.table)
+        for row in table.scan():
+            value = row.get(attribute.column)
+            if value is None:
+                continue
+            key = table.primary_key_of(row)
+            pid = solution.partition_of(key, evaluator)
+            bucket = out._partitions.setdefault(value, set())
+            if pid is not None and pid != REPLICATED:
+                bucket.add(pid)
+        return out
+
+    def partitions_for(self, value: Any) -> set[int] | None:
+        """Partitions holding tuples for *value*; None when value unseen."""
+        return self._partitions.get(value)
+
+    def __len__(self) -> int:
+        return len(self._partitions)
+
+    def __repr__(self) -> str:
+        return f"LookupTable({self.attribute}, entries={len(self._partitions)})"

@@ -1,0 +1,149 @@
+"""The transaction router: procedure call -> target partitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.core.path_eval import JoinPathEvaluator
+from repro.core.solution import DatabasePartitioning
+from repro.procedures.procedure import ProcedureCatalog
+from repro.routing.lookup_table import LookupTable
+from repro.schema.attribute import Attr
+from repro.sql.analyzer import analyze_procedure
+from repro.storage.database import Database
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """Outcome of routing one call.
+
+    ``partitions`` lists target partition ids; ``broadcast`` is True when
+    no routable attribute constrained the call and it must go everywhere
+    (the paper's fundamental-mismatch case).
+    """
+
+    partitions: frozenset[int]
+    broadcast: bool
+    routing_attribute: Attr | None = None
+
+    @property
+    def single_partition(self) -> bool:
+        return not self.broadcast and len(self.partitions) == 1
+
+
+class Router:
+    """Routes stored-procedure invocations using per-attribute lookups.
+
+    For each procedure, candidate routing attributes are the attributes its
+    WHERE clauses bind to parameters (found by the static analyzer). Each
+    call tries candidates in a deterministic order and returns the first
+    one that resolves to a bounded partition set.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        catalog: ProcedureCatalog,
+        partitioning: DatabasePartitioning,
+    ) -> None:
+        self.database = database
+        self.catalog = catalog
+        self.partitioning = partitioning
+        self._evaluator = JoinPathEvaluator(database)
+        self._bindings: dict[str, list[tuple[Attr, str]]] = {}
+        for procedure in catalog:
+            analysis = analyze_procedure(
+                procedure.statements, database.schema
+            )
+            self._bindings[procedure.name] = sorted(
+                analysis.param_bindings, key=lambda pair: (str(pair[0]), pair[1])
+            )
+        self._lookups: dict[Attr, LookupTable] = {}
+
+    def _lookup(self, attribute: Attr) -> LookupTable:
+        table = self._lookups.get(attribute)
+        if table is None:
+            table = LookupTable.build(
+                attribute, self.database, self.partitioning, self._evaluator
+            )
+            self._lookups[attribute] = table
+        return table
+
+    def route(
+        self, procedure_name: str, arguments: Mapping[str, Any]
+    ) -> RoutingDecision:
+        """Route one call; broadcast when nothing constrains it."""
+        all_partitions = frozenset(
+            range(1, self.partitioning.num_partitions + 1)
+        )
+        best: RoutingDecision | None = None
+        for attribute, param in self._bindings.get(procedure_name, []):
+            if param not in arguments:
+                continue
+            value = arguments[param]
+            values = value if isinstance(value, (list, tuple, set)) else [value]
+            lookup = self._lookup(attribute)
+            targets: set[int] = set()
+            known = True
+            for v in values:
+                found = lookup.partitions_for(v)
+                if found is None:
+                    known = False
+                    break
+                targets |= found
+            if not known:
+                continue
+            if not targets:
+                # only replicated tuples: any single partition serves it
+                targets = {1}
+            decision = RoutingDecision(
+                frozenset(targets), broadcast=False, routing_attribute=attribute
+            )
+            if decision.single_partition:
+                return decision
+            if best is None or len(decision.partitions) < len(best.partitions):
+                best = decision
+        if best is not None:
+            return best
+        return RoutingDecision(all_partitions, broadcast=True)
+
+    def route_summary(
+        self, calls: list[tuple[str, Mapping[str, Any]]]
+    ) -> "RouteSummary":
+        """Route a batch of calls and summarize the outcomes.
+
+        Useful for estimating how much of a live workload the chosen
+        partitioning can serve single-partition at the router tier.
+        """
+        summary = RouteSummary()
+        for procedure_name, arguments in calls:
+            decision = self.route(procedure_name, arguments)
+            summary.total += 1
+            if decision.broadcast:
+                summary.broadcast += 1
+            elif decision.single_partition:
+                summary.single_partition += 1
+            else:
+                summary.multi_partition += 1
+        return summary
+
+
+@dataclass
+class RouteSummary:
+    """Outcome counts for a routed batch of calls."""
+
+    total: int = 0
+    single_partition: int = 0
+    multi_partition: int = 0
+    broadcast: int = 0
+
+    @property
+    def single_partition_fraction(self) -> float:
+        return self.single_partition / self.total if self.total else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.total} calls: {self.single_partition} single, "
+            f"{self.multi_partition} multi, {self.broadcast} broadcast"
+        )

@@ -1,0 +1,23 @@
+"""Relational schema model: columns, tables, foreign keys, whole schemas.
+
+This package defines the static description of a database that every other
+subsystem consumes: the storage engine enforces the keys declared here, the
+SQL analyzer resolves column references against it, and the JECB core walks
+its key--foreign-key graph to build join paths.
+"""
+
+from repro.schema.attribute import Attr, attr_set
+from repro.schema.column import Column, DataType
+from repro.schema.table import ForeignKey, TableSchema, integer_table
+from repro.schema.database import DatabaseSchema
+
+__all__ = [
+    "Attr",
+    "attr_set",
+    "Column",
+    "DataType",
+    "ForeignKey",
+    "TableSchema",
+    "integer_table",
+    "DatabaseSchema",
+]

@@ -1,0 +1,37 @@
+"""Fully-qualified attribute references (``TABLE.COLUMN``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True, order=True)
+class Attr:
+    """A column of a specific table.
+
+    Join paths, join graphs, and partitioning solutions all talk about
+    attributes across tables, so a bare column name is not enough; ``Attr``
+    pins the table too. Instances are immutable, hashable and ordered, so
+    they can serve as graph nodes and dictionary keys.
+    """
+
+    table: str
+    column: str
+
+    @classmethod
+    def parse(cls, text: str) -> "Attr":
+        """Parse ``"TABLE.COLUMN"`` into an :class:`Attr`."""
+        parts = text.split(".")
+        if len(parts) != 2 or not parts[0] or not parts[1]:
+            raise SchemaError(f"expected TABLE.COLUMN, got {text!r}")
+        return cls(parts[0], parts[1])
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}"
+
+
+def attr_set(table: str, columns: tuple[str, ...] | list[str]) -> frozenset[Attr]:
+    """Build the frozen set of :class:`Attr` for *columns* of *table*."""
+    return frozenset(Attr(table, c) for c in columns)

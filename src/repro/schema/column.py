@@ -1,0 +1,72 @@
+"""Column definitions and the small type system used by the engine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SchemaError
+
+
+class DataType(enum.Enum):
+    """Logical column types.
+
+    The engine stores plain Python values; types exist so loaders can
+    validate generated data and so range mapping functions know how to
+    order values.
+    """
+
+    INTEGER = "integer"
+    BIGINT = "bigint"
+    FLOAT = "float"
+    TEXT = "text"
+    DATE = "date"
+    BOOLEAN = "boolean"
+
+    def validate(self, value: Any) -> bool:
+        """Return True if *value* is acceptable for this type (None always is)."""
+        if value is None:
+            return True
+        if self in (DataType.INTEGER, DataType.BIGINT):
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is DataType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is DataType.TEXT:
+            return isinstance(value, str)
+        if self is DataType.DATE:
+            # Dates are modelled as integer day/tick ordinals for simplicity.
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is DataType.BOOLEAN:
+            return isinstance(value, bool)
+        return False  # pragma: no cover - exhaustive enum
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column of a table.
+
+    Attributes:
+        name: Column name, unique within its table. Benchmarks follow the
+            TPC convention of a table prefix (``CA_ID``, ``T_CA_ID``...),
+            but nothing in the library relies on that.
+        data_type: Logical type used for validation and ordering.
+        nullable: Whether NULL (Python ``None``) is allowed.
+    """
+
+    name: str
+    data_type: DataType = DataType.INTEGER
+    nullable: bool = field(default=False)
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid column name: {self.name!r}")
+
+    def validate(self, value: Any) -> bool:
+        """Check *value* against type and nullability."""
+        if value is None:
+            return self.nullable
+        return self.data_type.validate(value)
+
+    def __str__(self) -> str:
+        return self.name

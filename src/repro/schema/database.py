@@ -1,0 +1,164 @@
+"""Whole-database schema: a set of tables plus key--foreign-key navigation."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+from repro.schema.attribute import Attr
+from repro.schema.table import ForeignKey, TableSchema
+
+
+class DatabaseSchema:
+    """A named collection of :class:`TableSchema` with FK cross-references.
+
+    Beyond holding tables, this class answers the navigation questions the
+    SQL analyzer and the JECB core ask constantly:
+
+    * which table owns an unqualified column name (`resolve_column`),
+    * which foreign keys leave / enter a table,
+    * whether an attribute set is a foreign key and what it references
+      (`foreign_key_for`), which drives Definition-2 join-path validation.
+    """
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._tables: dict[str, TableSchema] = {}
+
+    # ------------------------------------------------------------------
+    # table registry
+    # ------------------------------------------------------------------
+    def add_table(self, table: TableSchema) -> TableSchema:
+        if table.name in self._tables:
+            raise SchemaError(f"duplicate table {table.name!r}")
+        self._tables[table.name] = table
+        return table
+
+    def table(self, name: str) -> TableSchema:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"no table {name!r} in schema {self.name}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def tables(self) -> tuple[TableSchema, ...]:
+        return tuple(self._tables.values())
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    def __iter__(self) -> Iterator[TableSchema]:
+        return iter(self._tables.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    # ------------------------------------------------------------------
+    # foreign keys
+    # ------------------------------------------------------------------
+    def add_foreign_key(
+        self,
+        table: str,
+        columns: Sequence[str],
+        ref_table: str,
+        ref_columns: Sequence[str],
+    ) -> ForeignKey:
+        """Register a foreign key, validating both endpoints."""
+        src = self.table(table)
+        dst = self.table(ref_table)
+        for col in ref_columns:
+            if not dst.has_column(col):
+                raise SchemaError(
+                    f"foreign key target column {ref_table}.{col} does not exist"
+                )
+        return src.add_foreign_key(columns, ref_table, ref_columns)
+
+    def foreign_keys(self) -> Iterator[ForeignKey]:
+        """All foreign keys in the schema."""
+        for table in self._tables.values():
+            yield from table.foreign_keys
+
+    def foreign_keys_from(self, table: str) -> tuple[ForeignKey, ...]:
+        return tuple(self.table(table).foreign_keys)
+
+    def foreign_keys_to(self, table: str) -> tuple[ForeignKey, ...]:
+        return tuple(fk for fk in self.foreign_keys() if fk.ref_table == table)
+
+    def foreign_key_for(self, attrs: Iterable[Attr]) -> ForeignKey | None:
+        """Return the FK whose source columns are exactly *attrs*, if any.
+
+        All attributes must belong to one table; order is ignored because a
+        Definition-2 node is a *set* of attributes.
+        """
+        attrs = list(attrs)
+        if not attrs:
+            return None
+        tables = {a.table for a in attrs}
+        if len(tables) != 1:
+            return None
+        (table_name,) = tables
+        if table_name not in self._tables:
+            return None
+        wanted = {a.column for a in attrs}
+        for fk in self._tables[table_name].foreign_keys:
+            if set(fk.columns) == wanted:
+                return fk
+        return None
+
+    def key_fk_pairs(self) -> Iterator[tuple[frozenset[Attr], frozenset[Attr]]]:
+        """Yield (fk attribute set, referenced attribute set) pairs."""
+        for fk in self.foreign_keys():
+            src = frozenset(Attr(fk.table, c) for c in fk.columns)
+            dst = frozenset(Attr(fk.ref_table, c) for c in fk.ref_columns)
+            yield src, dst
+
+    # ------------------------------------------------------------------
+    # column resolution
+    # ------------------------------------------------------------------
+    def resolve_column(
+        self, column: str, among_tables: Iterable[str] | None = None
+    ) -> Attr:
+        """Resolve an unqualified column name to a unique :class:`Attr`.
+
+        TPC-style schemas make column names globally unique via table
+        prefixes; when they are not, ``among_tables`` narrows the search
+        (e.g. to a statement's FROM list) and ambiguity raises.
+        """
+        candidates = []
+        tables = (
+            [self.table(t) for t in among_tables]
+            if among_tables is not None
+            else list(self._tables.values())
+        )
+        for table in tables:
+            if table.has_column(column):
+                candidates.append(Attr(table.name, column))
+        if not candidates:
+            raise SchemaError(f"column {column!r} not found in schema {self.name}")
+        if len(candidates) > 1:
+            raise SchemaError(
+                f"ambiguous column {column!r}: "
+                + ", ".join(str(c) for c in candidates)
+            )
+        return candidates[0]
+
+    def attr(self, text: str) -> Attr:
+        """Parse ``TABLE.COLUMN`` or resolve a bare column name."""
+        if "." in text:
+            ref = Attr.parse(text)
+            if not self.table(ref.table).has_column(ref.column):
+                raise SchemaError(f"no column {ref.column!r} in table {ref.table}")
+            return ref
+        return self.resolve_column(text)
+
+    def primary_key_attrs(self, table: str) -> frozenset[Attr]:
+        """Primary key of *table* as an attribute set."""
+        schema = self.table(table)
+        return frozenset(Attr(table, c) for c in schema.primary_key)
+
+    def __repr__(self) -> str:
+        return f"DatabaseSchema({self.name!r}, tables={len(self._tables)})"

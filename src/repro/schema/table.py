@@ -1,0 +1,154 @@
+"""Table schemas: columns, primary keys, and foreign keys."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.schema.column import Column, DataType
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A (possibly composite) foreign key.
+
+    ``columns`` of ``table`` reference ``ref_columns`` of ``ref_table``
+    position-by-position. Both sides have the same arity. The referenced
+    columns must form the referenced table's primary key or a prefix-free
+    unique attribute set; the JECB join-path rules only require that a value
+    of ``columns`` functionally determines a row of ``ref_table``.
+    """
+
+    table: str
+    columns: tuple[str, ...]
+    ref_table: str
+    ref_columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != len(self.ref_columns):
+            raise SchemaError(
+                f"foreign key arity mismatch: {self.columns} -> {self.ref_columns}"
+            )
+        if not self.columns:
+            raise SchemaError("foreign key needs at least one column")
+
+    def __str__(self) -> str:
+        lhs = ", ".join(self.columns)
+        rhs = ", ".join(self.ref_columns)
+        return f"{self.table}({lhs}) -> {self.ref_table}({rhs})"
+
+
+class TableSchema:
+    """Schema of a single table: ordered columns, a primary key, foreign keys.
+
+    Example:
+        >>> t = TableSchema(
+        ...     "TRADE",
+        ...     [Column("T_ID"), Column("T_CA_ID"), Column("T_QTY")],
+        ...     primary_key=("T_ID",),
+        ... )
+        >>> t.primary_key
+        ('T_ID',)
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Sequence[str],
+        read_only: bool = False,
+    ) -> None:
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        self.name = name
+        self.columns: tuple[Column, ...] = tuple(columns)
+        self._by_name: dict[str, Column] = {}
+        for col in self.columns:
+            if col.name in self._by_name:
+                raise SchemaError(f"duplicate column {col.name!r} in table {name}")
+            self._by_name[col.name] = col
+        self.primary_key: tuple[str, ...] = tuple(primary_key)
+        if not self.primary_key:
+            raise SchemaError(f"table {name} needs a primary key")
+        for key_col in self.primary_key:
+            if key_col not in self._by_name:
+                raise SchemaError(f"primary key column {key_col!r} not in table {name}")
+        #: Static hint that a benchmark declares the table immutable; the
+        #: trace-based classifier in Phase 1 discovers this on its own, but
+        #: loaders may use the hint to skip instrumentation.
+        self.read_only = read_only
+        self.foreign_keys: list[ForeignKey] = []
+
+    # ------------------------------------------------------------------
+    # columns
+    # ------------------------------------------------------------------
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(col.name for col in self.columns)
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"no column {name!r} in table {self.name}") from None
+
+    def column_index(self, name: str) -> int:
+        """Position of *name* in the row tuple layout."""
+        for i, col in enumerate(self.columns):
+            if col.name == name:
+                return i
+        raise SchemaError(f"no column {name!r} in table {self.name}")
+
+    # ------------------------------------------------------------------
+    # keys
+    # ------------------------------------------------------------------
+    def is_primary_key(self, columns: Iterable[str]) -> bool:
+        """True if *columns* is exactly the primary key (as a set)."""
+        return set(columns) == set(self.primary_key)
+
+    def add_foreign_key(
+        self,
+        columns: Sequence[str],
+        ref_table: str,
+        ref_columns: Sequence[str],
+    ) -> ForeignKey:
+        """Declare that *columns* reference *ref_columns* of *ref_table*."""
+        for col in columns:
+            if col not in self._by_name:
+                raise SchemaError(
+                    f"foreign key column {col!r} not in table {self.name}"
+                )
+        fk = ForeignKey(self.name, tuple(columns), ref_table, tuple(ref_columns))
+        self.foreign_keys.append(fk)
+        return fk
+
+    def validate_row(self, values: Mapping[str, object]) -> None:
+        """Raise :class:`SchemaError` if *values* is not a well-typed full row."""
+        for col in self.columns:
+            if col.name not in values:
+                raise SchemaError(
+                    f"missing value for {self.name}.{col.name}"
+                )
+            if not col.validate(values[col.name]):
+                raise SchemaError(
+                    f"bad value {values[col.name]!r} for {self.name}.{col.name}"
+                    f" ({col.data_type.value})"
+                )
+
+    def __repr__(self) -> str:
+        return f"TableSchema({self.name}, pk={self.primary_key})"
+
+
+def integer_table(
+    name: str,
+    column_names: Sequence[str],
+    primary_key: Sequence[str],
+    read_only: bool = False,
+) -> TableSchema:
+    """Shorthand for the common all-integer benchmark table."""
+    cols = [Column(c, DataType.INTEGER) for c in column_names]
+    return TableSchema(name, cols, primary_key, read_only=read_only)

@@ -1,0 +1,190 @@
+"""Static analysis of stored-procedure SQL — the "CB" in JECB.
+
+From the SQL text of a transaction class, the analyzer extracts:
+
+* the set of **tables accessed** (FROM clauses, plus INSERT/UPDATE/DELETE
+  targets),
+* the **candidate attributes** — attributes appearing in WHERE clauses
+  (Section 5.1), the pool JECB draws partitioning attributes from,
+* the **select attributes** — attributes in SELECT lists, considered too so
+  that *implicit joins* (a value selected by one query and used in another
+  query's WHERE) are discovered (Section 5.1, Example 3),
+* **explicit joins** — column equalities in ON or WHERE clauses, and
+* which stored-procedure **parameters bind to which attributes**, used by
+  the runtime router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError, SchemaError
+from repro.schema.attribute import Attr
+from repro.schema.database import DatabaseSchema
+from repro.sql import ast
+
+
+@dataclass
+class StatementAnalysis:
+    """What one statement touches. Attribute sets hold resolved Attrs."""
+
+    tables: set[str] = field(default_factory=set)
+    where_attrs: set[Attr] = field(default_factory=set)
+    select_attrs: set[Attr] = field(default_factory=set)
+    #: unordered pairs of attributes equated by ON clauses or WHERE
+    #: column-to-column equalities
+    explicit_joins: set[frozenset[Attr]] = field(default_factory=set)
+    #: (attribute, parameter-name) pairs from WHERE equality/IN predicates
+    param_bindings: set[tuple[Attr, str]] = field(default_factory=set)
+    writes: set[str] = field(default_factory=set)
+
+    def merge(self, other: "StatementAnalysis") -> None:
+        self.tables |= other.tables
+        self.where_attrs |= other.where_attrs
+        self.select_attrs |= other.select_attrs
+        self.explicit_joins |= other.explicit_joins
+        self.param_bindings |= other.param_bindings
+        self.writes |= other.writes
+
+    @property
+    def candidate_attrs(self) -> set[Attr]:
+        """WHERE attributes — the paper's candidate partitioning attributes."""
+        return set(self.where_attrs)
+
+    @property
+    def accessed_attrs(self) -> set[Attr]:
+        """WHERE plus SELECT attributes (implicit-join discovery pool)."""
+        return self.where_attrs | self.select_attrs
+
+
+def _resolve(
+    ref: ast.ColumnRef, schema: DatabaseSchema, tables: list[str]
+) -> Attr:
+    """Resolve a column reference against the statement's FROM tables.
+
+    Qualified references are checked directly. Bare names are looked up
+    among the FROM tables first; if absent there (the benchmarks never do
+    this, but user SQL might), fall back to a whole-schema lookup.
+    """
+    if ref.table is not None:
+        if not schema.has_table(ref.table):
+            raise AnalysisError(f"unknown table {ref.table!r} in {ref}")
+        if not schema.table(ref.table).has_column(ref.name):
+            raise AnalysisError(f"unknown column {ref}")
+        return Attr(ref.table, ref.name)
+    try:
+        return schema.resolve_column(ref.name, among_tables=tables)
+    except SchemaError:
+        try:
+            return schema.resolve_column(ref.name)
+        except SchemaError as exc:
+            raise AnalysisError(str(exc)) from None
+
+
+def _analyze_predicates(
+    predicates: tuple[ast.Predicate, ...],
+    schema: DatabaseSchema,
+    tables: list[str],
+    out: StatementAnalysis,
+) -> None:
+    for pred in predicates:
+        if isinstance(pred, ast.Comparison):
+            left_col = isinstance(pred.left, ast.ColumnRef)
+            right_col = isinstance(pred.right, ast.ColumnRef)
+            if left_col:
+                left = _resolve(pred.left, schema, tables)
+                out.where_attrs.add(left)
+            elif isinstance(pred.left, ast.BinaryOp):
+                for ref in ast.expr_columns(pred.left):
+                    out.where_attrs.add(_resolve(ref, schema, tables))
+            if right_col:
+                right = _resolve(pred.right, schema, tables)
+                out.where_attrs.add(right)
+            elif isinstance(pred.right, ast.BinaryOp):
+                for ref in ast.expr_columns(pred.right):
+                    out.where_attrs.add(_resolve(ref, schema, tables))
+            if left_col and right_col and pred.op == "=":
+                out.explicit_joins.add(frozenset({left, right}))
+            if pred.op == "=":
+                if left_col and isinstance(pred.right, ast.Param):
+                    out.param_bindings.add((left, pred.right.name))
+                elif right_col and isinstance(pred.left, ast.Param):
+                    out.param_bindings.add((right, pred.left.name))
+        elif isinstance(pred, ast.InPredicate):
+            attr = _resolve(pred.column, schema, tables)
+            out.where_attrs.add(attr)
+            if pred.param is not None:
+                out.param_bindings.add((attr, pred.param.name))
+            for value in pred.values or ():
+                if isinstance(value, ast.ColumnRef):
+                    out.where_attrs.add(_resolve(value, schema, tables))
+        else:  # BetweenPredicate
+            out.where_attrs.add(_resolve(pred.column, schema, tables))
+
+
+def analyze_statement(
+    statement: ast.Statement, schema: DatabaseSchema
+) -> StatementAnalysis:
+    """Analyze one parsed statement against *schema*."""
+    out = StatementAnalysis()
+    if isinstance(statement, ast.Select):
+        tables = list(statement.tables)
+        out.tables |= set(tables)
+        for item in statement.items:
+            if item.expr.name != "*":
+                out.select_attrs.add(_resolve(item.expr, schema, tables))
+        for join in statement.joins:
+            left = _resolve(join.left, schema, tables)
+            right = _resolve(join.right, schema, tables)
+            out.where_attrs |= {left, right}
+            out.explicit_joins.add(frozenset({left, right}))
+        _analyze_predicates(statement.where, schema, tables, out)
+    elif isinstance(statement, ast.Insert):
+        out.tables.add(statement.table)
+        out.writes.add(statement.table)
+        table = schema.table(statement.table)
+        for col in statement.columns:
+            if not table.has_column(col):
+                raise AnalysisError(f"unknown column {statement.table}.{col}")
+        # The inserted key columns behave like WHERE attributes: the new
+        # tuple's placement is decided by them.
+        for col, value in zip(statement.columns, statement.values):
+            attr = Attr(statement.table, col)
+            out.where_attrs.add(attr)
+            if isinstance(value, ast.Param):
+                out.param_bindings.add((attr, value.name))
+    elif isinstance(statement, ast.Update):
+        out.tables.add(statement.table)
+        out.writes.add(statement.table)
+        _analyze_predicates(statement.where, schema, [statement.table], out)
+        for col, value in statement.assignments:
+            if not schema.table(statement.table).has_column(col):
+                raise AnalysisError(f"unknown column {statement.table}.{col}")
+            for ref in ast.expr_columns(value):
+                out.select_attrs.add(
+                    _resolve(ref, schema, [statement.table])
+                )
+    elif isinstance(statement, ast.Delete):
+        out.tables.add(statement.table)
+        out.writes.add(statement.table)
+        _analyze_predicates(statement.where, schema, [statement.table], out)
+    else:  # pragma: no cover - exhaustive
+        raise AnalysisError(f"unsupported statement type {type(statement)!r}")
+    return out
+
+
+def analyze_procedure(
+    statements: list[ast.Statement], schema: DatabaseSchema
+) -> StatementAnalysis:
+    """Merge the analyses of all statements of one stored procedure.
+
+    The merged ``accessed_attrs`` pool is what implicit-join discovery runs
+    over: a key--foreign-key pair whose two sides both appear anywhere in
+    the procedure's SELECT/WHERE attributes is treated as a (possible)
+    join, exactly as Section 5.1 prescribes. False positives are pruned
+    later by the trace-driven mapping-independence test.
+    """
+    merged = StatementAnalysis()
+    for statement in statements:
+        merged.merge(analyze_statement(statement, schema))
+    return merged

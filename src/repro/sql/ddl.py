@@ -1,0 +1,183 @@
+"""DDL front-end: build a :class:`DatabaseSchema` from CREATE TABLE text.
+
+JECB's inputs are the schema, the stored-procedure SQL, and a trace; real
+deployments have the schema as DDL. The dialect covers what the paper's
+benchmarks need::
+
+    CREATE TABLE TRADE (
+        T_ID     BIGINT,
+        T_CA_ID  BIGINT,
+        T_QTY    INTEGER,
+        PRIMARY KEY (T_ID),
+        FOREIGN KEY (T_CA_ID) REFERENCES CUSTOMER_ACCOUNT (CA_ID)
+    );
+
+Types map onto :class:`~repro.schema.column.DataType`; unknown type names
+raise. Foreign keys may reference tables created later in the script —
+they are resolved after all tables are parsed.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLSyntaxError
+from repro.schema.column import Column, DataType
+from repro.schema.database import DatabaseSchema
+from repro.schema.table import TableSchema
+from repro.sql.tokenizer import Token, TokenType, tokenize
+
+_TYPE_NAMES = {
+    "INT": DataType.INTEGER,
+    "INTEGER": DataType.INTEGER,
+    "SMALLINT": DataType.INTEGER,
+    "BIGINT": DataType.BIGINT,
+    "FLOAT": DataType.FLOAT,
+    "REAL": DataType.FLOAT,
+    "DOUBLE": DataType.FLOAT,
+    "DECIMAL": DataType.FLOAT,
+    "NUMERIC": DataType.FLOAT,
+    "TEXT": DataType.TEXT,
+    "CHAR": DataType.TEXT,
+    "VARCHAR": DataType.TEXT,
+    "DATE": DataType.DATE,
+    "DATETIME": DataType.DATE,
+    "TIMESTAMP": DataType.DATE,
+    "BOOLEAN": DataType.BOOLEAN,
+    "BOOL": DataType.BOOLEAN,
+}
+
+
+class _DdlParser:
+    """Cursor over DDL tokens (words arrive as IDENT or KEYWORD)."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens = tokenize(text)
+        self._pos = 0
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def at_word(self, word: str) -> bool:
+        token = self.current
+        return (
+            token.type in (TokenType.IDENT, TokenType.KEYWORD)
+            and token.value.upper() == word
+        )
+
+    def accept_word(self, word: str) -> bool:
+        if self.at_word(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_word(self, word: str) -> None:
+        if not self.accept_word(word):
+            self._fail(f"expected {word}")
+
+    def accept_punct(self, char: str) -> bool:
+        token = self.current
+        if token.type is TokenType.PUNCT and token.value == char:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, char: str) -> None:
+        if not self.accept_punct(char):
+            self._fail(f"expected {char!r}")
+
+    def expect_name(self) -> str:
+        token = self.current
+        if token.type not in (TokenType.IDENT, TokenType.KEYWORD):
+            self._fail("expected a name")
+        self.advance()
+        return token.value
+
+    def _fail(self, message: str) -> None:
+        token = self.current
+        raise SQLSyntaxError(f"DDL: {message}, got {token!r}", token.position)
+
+    def at_eof(self) -> bool:
+        return self.current.type is TokenType.EOF
+
+    # ------------------------------------------------------------------
+    def parse_name_list(self) -> list[str]:
+        self.expect_punct("(")
+        names = [self.expect_name()]
+        while self.accept_punct(","):
+            names.append(self.expect_name())
+        self.expect_punct(")")
+        return names
+
+    def parse_type(self) -> DataType:
+        name = self.expect_name().upper()
+        if name not in _TYPE_NAMES:
+            self._fail(f"unknown column type {name}")
+        # swallow optional length/precision, e.g. VARCHAR(20), DECIMAL(8, 2)
+        if self.accept_punct("("):
+            while not self.accept_punct(")"):
+                self.advance()
+        return _TYPE_NAMES[name]
+
+    def parse_create_table(self):
+        self.expect_word("CREATE")
+        self.expect_word("TABLE")
+        table_name = self.expect_name()
+        self.expect_punct("(")
+        columns: list[Column] = []
+        primary_key: list[str] = []
+        fks: list[tuple[list[str], str, list[str]]] = []
+        while True:
+            if self.at_word("PRIMARY"):
+                self.advance()
+                self.expect_word("KEY")
+                primary_key = self.parse_name_list()
+            elif self.at_word("FOREIGN"):
+                self.advance()
+                self.expect_word("KEY")
+                local = self.parse_name_list()
+                self.expect_word("REFERENCES")
+                ref_table = self.expect_name()
+                ref_columns = self.parse_name_list()
+                fks.append((local, ref_table, ref_columns))
+            else:
+                name = self.expect_name()
+                data_type = self.parse_type()
+                nullable = True
+                if self.accept_word("NOT"):
+                    self.expect_word("NULL")
+                    nullable = False
+                elif self.accept_word("NULL"):
+                    nullable = True
+                if self.accept_word("PRIMARY"):
+                    self.expect_word("KEY")
+                    primary_key = [name]
+                columns.append(Column(name, data_type, nullable=nullable))
+            if self.accept_punct(","):
+                continue
+            self.expect_punct(")")
+            break
+        self.accept_punct(";")
+        if not primary_key:
+            raise SQLSyntaxError(f"table {table_name} declares no PRIMARY KEY")
+        return table_name, columns, primary_key, fks
+
+
+def parse_ddl(text: str, schema_name: str = "db") -> DatabaseSchema:
+    """Parse a script of CREATE TABLE statements into a schema."""
+    parser = _DdlParser(text)
+    schema = DatabaseSchema(schema_name)
+    pending_fks: list[tuple[str, list[str], str, list[str]]] = []
+    while not parser.at_eof():
+        table_name, columns, primary_key, fks = parser.parse_create_table()
+        schema.add_table(TableSchema(table_name, columns, primary_key))
+        for local, ref_table, ref_columns in fks:
+            pending_fks.append((table_name, local, ref_table, ref_columns))
+    for table_name, local, ref_table, ref_columns in pending_fks:
+        schema.add_foreign_key(table_name, local, ref_table, ref_columns)
+    return schema

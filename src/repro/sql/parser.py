@@ -1,0 +1,319 @@
+"""Recursive-descent parser producing :mod:`repro.sql.ast` nodes."""
+
+from __future__ import annotations
+
+from repro.errors import SQLSyntaxError
+from repro.sql import ast
+from repro.sql.tokenizer import Token, TokenType, tokenize
+
+_AGGREGATES = {"SUM", "AVG", "AVERAGE", "COUNT", "MIN", "MAX"}
+
+
+class _Parser:
+    """Cursor over a token list with the usual expect/accept helpers."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # cursor primitives
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            self._fail(f"expected {word}")
+
+    def accept_punct(self, char: str) -> bool:
+        tok = self.current
+        if tok.type is TokenType.PUNCT and tok.value == char:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, char: str) -> None:
+        if not self.accept_punct(char):
+            self._fail(f"expected {char!r}")
+
+    def _fail(self, message: str) -> None:
+        tok = self.current
+        raise SQLSyntaxError(f"{message}, got {tok!r}", tok.position)
+
+    # ------------------------------------------------------------------
+    # terminals
+    # ------------------------------------------------------------------
+    def parse_identifier(self) -> str:
+        tok = self.current
+        if tok.type is not TokenType.IDENT:
+            self._fail("expected identifier")
+        self.advance()
+        return tok.value
+
+    def parse_column_ref(self) -> ast.ColumnRef:
+        first = self.parse_identifier()
+        if self.accept_punct("."):
+            second = self.parse_identifier()
+            return ast.ColumnRef(second, table=first)
+        return ast.ColumnRef(first)
+
+    def parse_expr(self) -> ast.Expr:
+        """Additive expression: primary (('+' | '-') primary)*."""
+        left = self.parse_primary()
+        while True:
+            tok = self.current
+            if tok.type is TokenType.OPERATOR and tok.value in ("+", "-"):
+                self.advance()
+                right = self.parse_primary()
+                left = ast.BinaryOp(left, tok.value, right)
+            else:
+                return left
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.current
+        if tok.type is TokenType.PARAM:
+            self.advance()
+            return ast.Param(tok.value)
+        if tok.type is TokenType.NUMBER:
+            self.advance()
+            text = tok.value
+            return ast.Literal(float(text) if "." in text else int(text))
+        if tok.type is TokenType.STRING:
+            self.advance()
+            return ast.Literal(tok.value)
+        if tok.is_keyword("NULL"):
+            self.advance()
+            return ast.Literal(None)
+        if tok.type is TokenType.IDENT:
+            return self.parse_column_ref()
+        self._fail("expected expression")
+        raise AssertionError  # unreachable; _fail always raises
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def parse_predicate(self) -> ast.Predicate:
+        left = self.parse_expr()
+        tok = self.current
+        if tok.is_keyword("IN"):
+            if not isinstance(left, ast.ColumnRef):
+                self._fail("IN requires a column on the left")
+            self.advance()
+            if self.current.type is TokenType.PARAM:
+                param_tok = self.advance()
+                return ast.InPredicate(left, param=ast.Param(param_tok.value))
+            self.expect_punct("(")
+            values = [self.parse_expr()]
+            while self.accept_punct(","):
+                values.append(self.parse_expr())
+            self.expect_punct(")")
+            return ast.InPredicate(left, values=tuple(values))
+        if tok.is_keyword("BETWEEN"):
+            if not isinstance(left, ast.ColumnRef):
+                self._fail("BETWEEN requires a column on the left")
+            self.advance()
+            low = self.parse_expr()
+            self.expect_keyword("AND")
+            high = self.parse_expr()
+            return ast.BetweenPredicate(left, low, high)
+        if tok.type is TokenType.OPERATOR and tok.value in (
+            "=", "<", "<=", ">", ">=", "<>",
+        ):
+            self.advance()
+            right = self.parse_expr()
+            return ast.Comparison(left, tok.value, right)
+        self._fail("expected comparison, IN, or BETWEEN")
+        raise AssertionError
+
+    def parse_where(self) -> tuple[ast.Predicate, ...]:
+        if not self.accept_keyword("WHERE"):
+            return ()
+        predicates = [self.parse_predicate()]
+        while self.accept_keyword("AND"):
+            predicates.append(self.parse_predicate())
+        return tuple(predicates)
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+    def parse_select_item(self) -> ast.SelectItem:
+        assign_to = None
+        if self.current.type is TokenType.PARAM:
+            # T-SQL assignment form: @var = <expr>
+            save = self._pos
+            param_tok = self.advance()
+            tok = self.current
+            if tok.type is TokenType.OPERATOR and tok.value == "=":
+                self.advance()
+                assign_to = param_tok.value
+            else:
+                self._pos = save
+                self._fail("parameter in SELECT list must be an @var = target")
+        aggregate = None
+        tok = self.current
+        if tok.type is TokenType.KEYWORD and tok.value in _AGGREGATES:
+            aggregate = "AVG" if tok.value == "AVERAGE" else tok.value
+            self.advance()
+            self.expect_punct("(")
+            if self.current.type is TokenType.PUNCT and self.current.value == "*":
+                self.advance()
+                expr = ast.ColumnRef("*")
+            else:
+                expr = self.parse_column_ref()
+            self.expect_punct(")")
+        elif tok.type is TokenType.PUNCT and tok.value == "*":
+            self.advance()
+            expr = ast.ColumnRef("*")
+        else:
+            expr = self.parse_column_ref()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.parse_identifier()
+        return ast.SelectItem(expr, aggregate=aggregate, assign_to=assign_to, alias=alias)
+
+    def parse_select(self) -> ast.Select:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        items = [self.parse_select_item()]
+        while self.accept_punct(","):
+            items.append(self.parse_select_item())
+        self.expect_keyword("FROM")
+        table = self.parse_identifier()
+        joins: list[ast.Join] = []
+        while self.accept_keyword("JOIN"):
+            join_table = self.parse_identifier()
+            self.expect_keyword("ON")
+            left = self.parse_column_ref()
+            tok = self.current
+            if not (tok.type is TokenType.OPERATOR and tok.value == "="):
+                self._fail("JOIN ... ON requires an equality")
+            self.advance()
+            right = self.parse_column_ref()
+            joins.append(ast.Join(join_table, left, right))
+        where = self.parse_where()
+        order_by = None
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            col = self.parse_column_ref()
+            descending = False
+            if self.accept_keyword("DESC"):
+                descending = True
+            else:
+                self.accept_keyword("ASC")
+            order_by = ast.OrderBy(col, descending)
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            tok = self.current
+            if tok.type is not TokenType.NUMBER:
+                self._fail("LIMIT requires a number")
+            self.advance()
+            limit = int(tok.value)
+        return ast.Select(
+            tuple(items), table, tuple(joins), where, order_by, limit, distinct
+        )
+
+    # ------------------------------------------------------------------
+    # INSERT / UPDATE / DELETE
+    # ------------------------------------------------------------------
+    def parse_insert(self) -> ast.Insert:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.parse_identifier()
+        self.expect_punct("(")
+        columns = [self.parse_identifier()]
+        while self.accept_punct(","):
+            columns.append(self.parse_identifier())
+        self.expect_punct(")")
+        self.expect_keyword("VALUES")
+        self.expect_punct("(")
+        values = [self.parse_expr()]
+        while self.accept_punct(","):
+            values.append(self.parse_expr())
+        self.expect_punct(")")
+        if len(columns) != len(values):
+            self._fail(
+                f"INSERT has {len(columns)} columns but {len(values)} values"
+            )
+        return ast.Insert(table, tuple(columns), tuple(values))
+
+    def parse_update(self) -> ast.Update:
+        self.expect_keyword("UPDATE")
+        table = self.parse_identifier()
+        self.expect_keyword("SET")
+        assignments = [self._parse_assignment()]
+        while self.accept_punct(","):
+            assignments.append(self._parse_assignment())
+        where = self.parse_where()
+        return ast.Update(table, tuple(assignments), where)
+
+    def _parse_assignment(self) -> tuple[str, ast.Expr]:
+        column = self.parse_identifier()
+        tok = self.current
+        if not (tok.type is TokenType.OPERATOR and tok.value == "="):
+            self._fail("expected '=' in SET clause")
+        self.advance()
+        return column, self.parse_expr()
+
+    def parse_delete(self) -> ast.Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.parse_identifier()
+        where = self.parse_where()
+        return ast.Delete(table, where)
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def parse_statement(self) -> ast.Statement:
+        tok = self.current
+        if tok.is_keyword("SELECT"):
+            return self.parse_select()
+        if tok.is_keyword("INSERT"):
+            return self.parse_insert()
+        if tok.is_keyword("UPDATE"):
+            return self.parse_update()
+        if tok.is_keyword("DELETE"):
+            return self.parse_delete()
+        self._fail("expected SELECT, INSERT, UPDATE, or DELETE")
+        raise AssertionError
+
+    def parse_script(self) -> list[ast.Statement]:
+        statements = [self.parse_statement()]
+        while True:
+            while self.accept_punct(";"):
+                pass
+            if self.current.type is TokenType.EOF:
+                return statements
+            statements.append(self.parse_statement())
+
+    def expect_eof(self) -> None:
+        self.accept_punct(";")
+        if self.current.type is not TokenType.EOF:
+            self._fail("trailing input after statement")
+
+
+def parse_statement(sql: str) -> ast.Statement:
+    """Parse exactly one statement (an optional trailing ``;`` is fine)."""
+    parser = _Parser(tokenize(sql))
+    statement = parser.parse_statement()
+    parser.expect_eof()
+    return statement
+
+
+def parse_script(sql: str) -> list[ast.Statement]:
+    """Parse a ``;``-separated sequence of statements."""
+    return _Parser(tokenize(sql)).parse_script()

@@ -1,0 +1,127 @@
+"""Hand-rolled tokenizer for the stored-procedure SQL dialect."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "JOIN", "ON", "AND", "IN", "BETWEEN",
+        "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "ORDER",
+        "BY", "ASC", "DESC", "LIMIT", "AS", "DISTINCT",
+        "SUM", "AVG", "AVERAGE", "COUNT", "MIN", "MAX", "NULL",
+    }
+)
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-")
+_PUNCT = "(),.*;"
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    PARAM = "param"       # @name
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    def __str__(self) -> str:
+        return f"{self.value}" if self.type is not TokenType.EOF else "<eof>"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split *text* into tokens, raising :class:`SQLSyntaxError` on junk.
+
+    Keywords are case-insensitive and normalized to upper case; identifiers
+    keep their original spelling (TPC column names are upper case anyway).
+    ``--`` comments run to end of line.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        start = i
+        if ch == "@":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            if j == i + 1:
+                raise SQLSyntaxError("bare '@' is not a parameter", i)
+            tokens.append(Token(TokenType.PARAM, text[i + 1 : j], start))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start))
+            i = j
+            continue
+        if ch.isdigit():
+            j = i + 1
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot followed by a non-digit is punctuation, not a
+                    # decimal point (e.g. ``1.foo`` never appears but be safe).
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token(TokenType.NUMBER, text[i:j], start))
+            i = j
+            continue
+        if ch == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 1
+            if j >= n:
+                raise SQLSyntaxError("unterminated string literal", i)
+            tokens.append(Token(TokenType.STRING, text[i + 1 : j], start))
+            i = j + 1
+            continue
+        matched_op = None
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                matched_op = op
+                break
+        if matched_op:
+            value = "<>" if matched_op == "!=" else matched_op
+            tokens.append(Token(TokenType.OPERATOR, value, start))
+            i += len(matched_op)
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, start))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

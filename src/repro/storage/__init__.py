@@ -1,0 +1,16 @@
+"""In-memory storage engine.
+
+Rows are stored as plain dicts keyed by column name inside :class:`Table`
+objects that maintain a primary-key hash index and on-demand secondary hash
+indexes. :class:`Database` bundles the tables of one schema and enforces
+referential integrity on load when asked to.
+
+This is the substrate the paper ran on SQL Server; partitioning quality only
+depends on which tuples transactions touch, so a hash-indexed in-memory
+engine preserves all relevant behaviour (see DESIGN.md, substitutions).
+"""
+
+from repro.storage.table import Table
+from repro.storage.database import Database
+
+__all__ = ["Table", "Database"]

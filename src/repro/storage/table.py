@@ -1,0 +1,175 @@
+"""A single in-memory table with primary and secondary hash indexes."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import StorageError
+from repro.schema.table import TableSchema
+
+Row = dict[str, Any]
+KeyValue = tuple[Any, ...]
+
+
+class Table:
+    """Row store for one table.
+
+    * The primary index maps the primary-key value tuple to the row dict.
+    * Secondary hash indexes (created lazily via :meth:`ensure_index`) map a
+      column tuple's values to the list of matching primary keys; they are
+      maintained on insert/update/delete.
+
+    Rows handed out by lookups are the live dicts; callers mutate them only
+    through :meth:`update` so indexes stay consistent.
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: dict[KeyValue, Row] = {}
+        self._indexes: dict[tuple[str, ...], dict[KeyValue, list[KeyValue]]] = {}
+        # Last version of deleted rows. Join-path evaluation happens after
+        # the trace was collected, but the paper's instrumentation captures
+        # values at access time; tombstones preserve that information for
+        # tuples that were deleted later (e.g. TPC-C NEW_ORDER rows).
+        self._graveyard: dict[KeyValue, Row] = {}
+
+    # ------------------------------------------------------------------
+    # keys
+    # ------------------------------------------------------------------
+    def primary_key_of(self, row: Mapping[str, Any]) -> KeyValue:
+        """Extract the primary-key value tuple from a row mapping."""
+        try:
+            return tuple(row[c] for c in self.schema.primary_key)
+        except KeyError as exc:
+            raise StorageError(
+                f"row missing primary-key column {exc} for table {self.schema.name}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, row: Mapping[str, Any], validate: bool = False) -> KeyValue:
+        """Insert a full row; returns its primary key.
+
+        Raises :class:`StorageError` on duplicate primary key.
+        """
+        if validate:
+            self.schema.validate_row(row)
+        stored: Row = dict(row)
+        key = self.primary_key_of(stored)
+        if key in self._rows:
+            raise StorageError(
+                f"duplicate primary key {key} in table {self.schema.name}"
+            )
+        self._rows[key] = stored
+        self._graveyard.pop(key, None)
+        for columns, index in self._indexes.items():
+            index.setdefault(tuple(stored[c] for c in columns), []).append(key)
+        return key
+
+    def update(self, key: KeyValue, changes: Mapping[str, Any]) -> Row:
+        """Apply *changes* to the row with primary key *key*.
+
+        Primary-key columns cannot be changed; delete + insert instead.
+        """
+        row = self.get(key)
+        if row is None:
+            raise StorageError(f"no row {key} in table {self.schema.name}")
+        for col in changes:
+            if col in self.schema.primary_key:
+                raise StorageError(
+                    f"cannot update primary-key column {col} of {self.schema.name}"
+                )
+            if not self.schema.has_column(col):
+                raise StorageError(f"no column {col} in table {self.schema.name}")
+        for columns, index in self._indexes.items():
+            if any(c in changes for c in columns):
+                old_val = tuple(row[c] for c in columns)
+                bucket = index.get(old_val, [])
+                if key in bucket:
+                    bucket.remove(key)
+                    if not bucket:
+                        del index[old_val]
+        row.update(changes)
+        for columns, index in self._indexes.items():
+            if any(c in changes for c in columns):
+                index.setdefault(tuple(row[c] for c in columns), []).append(key)
+        return row
+
+    def delete(self, key: KeyValue) -> Row:
+        """Remove and return the row with primary key *key*."""
+        row = self._rows.pop(key, None)
+        if row is None:
+            raise StorageError(f"no row {key} in table {self.schema.name}")
+        self._graveyard[key] = dict(row)
+        for columns, index in self._indexes.items():
+            val = tuple(row[c] for c in columns)
+            bucket = index.get(val, [])
+            if key in bucket:
+                bucket.remove(key)
+                if not bucket:
+                    del index[val]
+        return row
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def get(self, key: KeyValue) -> Row | None:
+        """Fetch a row by primary-key tuple (``None`` if absent)."""
+        return self._rows.get(tuple(key))
+
+    def get_snapshot(self, key: KeyValue) -> Row | None:
+        """Live row, or the last version of a deleted row (tombstone)."""
+        key = tuple(key)
+        row = self._rows.get(key)
+        if row is not None:
+            return row
+        return self._graveyard.get(key)
+
+    def ensure_index(self, columns: Sequence[str]) -> None:
+        """Create a secondary hash index over *columns* if not present."""
+        cols = tuple(columns)
+        if cols in self._indexes:
+            return
+        for col in cols:
+            if not self.schema.has_column(col):
+                raise StorageError(f"no column {col} in table {self.schema.name}")
+        index: dict[KeyValue, list[KeyValue]] = {}
+        for key, row in self._rows.items():
+            index.setdefault(tuple(row[c] for c in cols), []).append(key)
+        self._indexes[cols] = index
+
+    def lookup(self, columns: Sequence[str], values: Sequence[Any]) -> list[Row]:
+        """All rows with ``row[columns[i]] == values[i]`` for every i.
+
+        Uses the primary index when *columns* is the primary key, a
+        secondary index when one exists (building it on first use), and a
+        full scan otherwise.
+        """
+        cols = tuple(columns)
+        vals = tuple(values)
+        if cols == self.schema.primary_key:
+            row = self._rows.get(vals)
+            return [row] if row is not None else []
+        if cols not in self._indexes:
+            self.ensure_index(cols)
+        keys = self._indexes[cols].get(vals, [])
+        return [self._rows[k] for k in keys]
+
+    def scan(self, predicate: Callable[[Row], bool] | None = None) -> Iterator[Row]:
+        """Iterate over all rows, optionally filtered."""
+        if predicate is None:
+            yield from self._rows.values()
+        else:
+            for row in self._rows.values():
+                if predicate(row):
+                    yield row
+
+    def keys(self) -> Iterable[KeyValue]:
+        return self._rows.keys()
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.schema.name}, rows={len(self._rows)})"

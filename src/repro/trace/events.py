@@ -1,0 +1,107 @@
+"""Trace data model: tuple accesses, transactions, and whole traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+KeyValue = tuple  # primary-key value tuple
+
+
+@dataclass(frozen=True)
+class TupleAccess:
+    """One tuple touched by a transaction.
+
+    Matches the paper's trace record: table name, primary key, and whether
+    the access was a read or an update (Section 7.1).
+    """
+
+    table: str
+    key: KeyValue
+    write: bool = False
+
+    def __str__(self) -> str:
+        mode = "W" if self.write else "R"
+        return f"{mode} {self.table}{self.key}"
+
+
+@dataclass
+class TransactionTrace:
+    """All tuple accesses of one executed transaction (Definition 1)."""
+
+    txn_id: int
+    class_name: str
+    accesses: list[TupleAccess] = field(default_factory=list)
+
+    def record(self, table: str, key: KeyValue, write: bool) -> None:
+        self.accesses.append(TupleAccess(table, tuple(key), write))
+
+    @property
+    def tuples(self) -> set[tuple[str, KeyValue]]:
+        """Distinct (table, key) pairs accessed (the R ∪ W set)."""
+        return {(a.table, a.key) for a in self.accesses}
+
+    @property
+    def read_set(self) -> set[tuple[str, KeyValue]]:
+        return {(a.table, a.key) for a in self.accesses if not a.write}
+
+    @property
+    def write_set(self) -> set[tuple[str, KeyValue]]:
+        return {(a.table, a.key) for a in self.accesses if a.write}
+
+    @property
+    def tables(self) -> set[str]:
+        return {a.table for a in self.accesses}
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+
+class Trace:
+    """A bag of executed transactions.
+
+    When every transaction comes from the same stored procedure the trace is
+    a *homogeneous workload*; :meth:`is_homogeneous` checks that.
+    """
+
+    def __init__(self, transactions: Sequence[TransactionTrace] = ()) -> None:
+        self.transactions: list[TransactionTrace] = list(transactions)
+
+    def append(self, txn: TransactionTrace) -> None:
+        self.transactions.append(txn)
+
+    def extend(self, txns: Sequence[TransactionTrace]) -> None:
+        self.transactions.extend(txns)
+
+    @property
+    def class_names(self) -> list[str]:
+        """Distinct transaction-class names, in first-seen order."""
+        seen: dict[str, None] = {}
+        for txn in self.transactions:
+            seen.setdefault(txn.class_name, None)
+        return list(seen)
+
+    def is_homogeneous(self) -> bool:
+        return len(self.class_names) <= 1
+
+    def tables(self) -> set[str]:
+        """All tables touched anywhere in the trace."""
+        out: set[str] = set()
+        for txn in self.transactions:
+            out |= txn.tables
+        return out
+
+    def distinct_tuples(self) -> set[tuple[str, KeyValue]]:
+        out: set[tuple[str, KeyValue]] = set()
+        for txn in self.transactions:
+            out |= txn.tuples
+        return out
+
+    def __iter__(self) -> Iterator[TransactionTrace]:
+        return iter(self.transactions)
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def __repr__(self) -> str:
+        return f"Trace(transactions={len(self.transactions)}, classes={self.class_names})"

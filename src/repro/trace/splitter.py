@@ -1,0 +1,56 @@
+"""Trace splitting: per-class streams and train/test halves."""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.trace.events import Trace
+
+
+def split_by_class(trace: Trace) -> dict[str, Trace]:
+    """Split a mixed trace into one homogeneous sub-trace per class.
+
+    This is Phase 1's "splitting the trace into different streams": each
+    stored procedure's transactions form one homogeneous workload.
+    """
+    streams: dict[str, Trace] = {}
+    for txn in trace:
+        streams.setdefault(txn.class_name, Trace()).append(txn)
+    return streams
+
+
+def train_test_split(trace: Trace, train_fraction: float = 0.5) -> tuple[Trace, Trace]:
+    """Deterministically split a trace into training and testing parts.
+
+    Transactions are interleaved round-robin (by position) rather than cut
+    at a boundary so that both halves sample the same phase of the driver's
+    key-generation sequence; the paper's framework likewise feeds disjoint
+    training/testing traces from one collection run (Section 7.1).
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise WorkloadError("train_fraction must be strictly between 0 and 1")
+    train, test = Trace(), Trace()
+    acc = 0.0
+    for txn in trace:
+        acc += train_fraction
+        if acc >= 1.0 - 1e-9:
+            acc -= 1.0
+            train.append(txn)
+        else:
+            test.append(txn)
+    return train, test
+
+
+def subsample(trace: Trace, fraction: float) -> Trace:
+    """Every ``1/fraction``-th transaction — used for coverage experiments."""
+    if not 0.0 < fraction <= 1.0:
+        raise WorkloadError("fraction must be in (0, 1]")
+    if fraction == 1.0:
+        return Trace(list(trace))
+    out = Trace()
+    acc = 0.0
+    for txn in trace:
+        acc += fraction
+        if acc >= 1.0 - 1e-9:
+            acc -= 1.0
+            out.append(txn)
+    return out

@@ -1,0 +1,18 @@
+"""Benchmark workloads: schema + data generator + stored procedures + driver.
+
+Each sub-package reimplements the *shape* of one benchmark the paper
+evaluates on — exact table/foreign-key topology and transaction access
+patterns (mix percentages, parameter skew, remote-access rates) — with
+scaled-down cardinalities (see DESIGN.md, substitutions):
+
+* :mod:`repro.workloads.tpcc` — TPC-C order processing (9 tables).
+* :mod:`repro.workloads.tpce` — TPC-E brokerage (33 tables, 15 classes).
+* :mod:`repro.workloads.tatp` — TATP telecom (4 tables).
+* :mod:`repro.workloads.seats` — SEATS airline ticketing.
+* :mod:`repro.workloads.auctionmark` — AuctionMark internet auctions.
+* :mod:`repro.workloads.synthetic` — the Section-7.6 implicit-join mix.
+"""
+
+from repro.workloads.base import Benchmark, WorkloadBundle
+
+__all__ = ["Benchmark", "WorkloadBundle"]

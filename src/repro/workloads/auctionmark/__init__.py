@@ -1,0 +1,8 @@
+"""AuctionMark internet-auction benchmark."""
+
+from repro.workloads.auctionmark.benchmark import (
+    AuctionMarkBenchmark,
+    AuctionMarkConfig,
+)
+
+__all__ = ["AuctionMarkBenchmark", "AuctionMarkConfig"]

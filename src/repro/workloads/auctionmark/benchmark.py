@@ -1,0 +1,421 @@
+"""AuctionMark: internet auctions with buyer/seller m-to-n structure.
+
+Most tables hang off USERACCT via foreign keys (items belong to sellers,
+bids and purchases belong to buyers), so user id is the natural
+partitioning attribute — but bidding and buying connect *two* users, the
+m-to-n relationship the paper points to as the reason the workload is not
+completely partitionable (Section 7.4).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.procedures.procedure import (
+    ProcedureCatalog,
+    ProcedureContext,
+    StoredProcedure,
+)
+from repro.schema.database import DatabaseSchema
+from repro.schema.table import integer_table
+from repro.storage.database import Database
+from repro.trace.collector import TraceCollector
+from repro.workloads.base import Benchmark
+
+MIX = {
+    "GetItem": 30.0,
+    "GetUserInfo": 10.0,
+    "NewBid": 20.0,
+    "NewItem": 10.0,
+    "NewCommentAndResponse": 5.0,
+    "NewPurchase": 10.0,
+    "UpdateItem": 15.0,
+}
+
+
+@dataclass
+class AuctionMarkConfig:
+    users: int = 200
+    initial_items_per_user: int = 3
+    initial_bids_per_item: int = 2
+    categories: int = 10
+    regions: int = 5
+
+
+def build_auctionmark_schema() -> DatabaseSchema:
+    schema = DatabaseSchema("auctionmark")
+    schema.add_table(integer_table("REGION", ["R_ID"], ["R_ID"], read_only=True))
+    schema.add_table(
+        integer_table(
+            "CATEGORY", ["C_ID", "C_PARENT_ID"], ["C_ID"], read_only=True
+        )
+    )
+    schema.add_table(
+        integer_table(
+            "USERACCT", ["U_ID", "U_R_ID", "U_BALANCE", "U_RATING"], ["U_ID"]
+        )
+    )
+    schema.add_table(
+        integer_table(
+            "ITEM",
+            [
+                "I_ID",
+                "I_U_ID",
+                "I_C_ID",
+                "I_CURRENT_PRICE",
+                "I_NUM_BIDS",
+                "I_STATUS",
+            ],
+            ["I_ID"],
+        )
+    )
+    schema.add_table(
+        integer_table(
+            "ITEM_BID",
+            ["IB_ID", "IB_I_ID", "IB_BUYER_ID", "IB_BID"],
+            ["IB_ID"],
+        )
+    )
+    schema.add_table(
+        integer_table(
+            "ITEM_COMMENT",
+            ["IC_ID", "IC_I_ID", "IC_U_ID"],
+            ["IC_ID"],
+        )
+    )
+    schema.add_table(
+        integer_table(
+            "USERACCT_ITEM",
+            ["UI_U_ID", "UI_I_ID"],
+            ["UI_U_ID", "UI_I_ID"],
+        )
+    )
+    schema.add_foreign_key("USERACCT", ["U_R_ID"], "REGION", ["R_ID"])
+    schema.add_foreign_key("ITEM", ["I_U_ID"], "USERACCT", ["U_ID"])
+    schema.add_foreign_key("ITEM", ["I_C_ID"], "CATEGORY", ["C_ID"])
+    schema.add_foreign_key("ITEM_BID", ["IB_I_ID"], "ITEM", ["I_ID"])
+    schema.add_foreign_key("ITEM_BID", ["IB_BUYER_ID"], "USERACCT", ["U_ID"])
+    schema.add_foreign_key("ITEM_COMMENT", ["IC_I_ID"], "ITEM", ["I_ID"])
+    schema.add_foreign_key("ITEM_COMMENT", ["IC_U_ID"], "USERACCT", ["U_ID"])
+    schema.add_foreign_key("USERACCT_ITEM", ["UI_U_ID"], "USERACCT", ["U_ID"])
+    schema.add_foreign_key("USERACCT_ITEM", ["UI_I_ID"], "ITEM", ["I_ID"])
+    return schema
+
+
+def _get_item_body(ctx: ProcedureContext) -> None:
+    ctx.run("get_item")
+    if ctx.env.get("seller_id") is not None:
+        ctx.run("get_seller")
+
+
+def _get_user_info_body(ctx: ProcedureContext) -> None:
+    ctx.run("get_user")
+    ctx.run("get_user_items")
+    ctx.run("get_purchases")
+
+
+def _new_bid_body(ctx: ProcedureContext) -> None:
+    ctx.run("get_item")
+    if ctx.env.get("seller_id") is None:
+        return
+    ctx.run("get_buyer")
+    ctx.run("insert_bid")
+    ctx.run("bump_item")
+
+
+def _new_item_body(ctx: ProcedureContext) -> None:
+    ctx.run("get_seller")
+    ctx.run("get_category")
+    ctx.run("insert_item")
+
+
+def _new_comment_body(ctx: ProcedureContext) -> None:
+    ctx.run("get_item")
+    if ctx.env.get("seller_id") is None:
+        return
+    ctx.run("insert_comment")
+    ctx.run("get_seller_for_response")
+
+
+def _new_purchase_body(ctx: ProcedureContext) -> None:
+    ctx.run("get_item")
+    if ctx.env.get("seller_id") is None:
+        return
+    ctx.run("insert_purchase")
+    ctx.run("close_item")
+    ctx.run("pay_seller")
+    ctx.run("charge_buyer")
+
+
+def _update_item_body(ctx: ProcedureContext) -> None:
+    ctx.run("get_item")
+    if ctx.env.get("seller_id") is None:
+        return
+    ctx.run("update_item")
+
+
+def build_auctionmark_catalog() -> ProcedureCatalog:
+    return ProcedureCatalog(
+        [
+            StoredProcedure(
+                "GetItem",
+                params=["i_id"],
+                statements={
+                    "get_item": """
+                        SELECT @seller_id = I_U_ID, @price = I_CURRENT_PRICE
+                        FROM ITEM WHERE I_ID = @i_id
+                    """,
+                    "get_seller": """
+                        SELECT U_RATING FROM USERACCT WHERE U_ID = @seller_id
+                    """,
+                },
+                body=_get_item_body,
+                weight=MIX["GetItem"],
+            ),
+            StoredProcedure(
+                "GetUserInfo",
+                params=["u_id"],
+                statements={
+                    "get_user": """
+                        SELECT U_RATING, U_BALANCE FROM USERACCT
+                        WHERE U_ID = @u_id
+                    """,
+                    "get_user_items": """
+                        SELECT I_ID, I_STATUS FROM ITEM WHERE I_U_ID = @u_id
+                    """,
+                    "get_purchases": """
+                        SELECT UI_I_ID FROM USERACCT_ITEM WHERE UI_U_ID = @u_id
+                    """,
+                },
+                body=_get_user_info_body,
+                weight=MIX["GetUserInfo"],
+            ),
+            StoredProcedure(
+                "NewBid",
+                params=["ib_id", "i_id", "buyer_id", "bid"],
+                statements={
+                    "get_item": """
+                        SELECT @seller_id = I_U_ID, @price = I_CURRENT_PRICE
+                        FROM ITEM WHERE I_ID = @i_id
+                    """,
+                    "get_buyer": """
+                        SELECT U_BALANCE FROM USERACCT WHERE U_ID = @buyer_id
+                    """,
+                    "insert_bid": """
+                        INSERT INTO ITEM_BID (IB_ID, IB_I_ID, IB_BUYER_ID, IB_BID)
+                        VALUES (@ib_id, @i_id, @buyer_id, @bid)
+                    """,
+                    "bump_item": """
+                        UPDATE ITEM
+                        SET I_NUM_BIDS = I_NUM_BIDS + 1, I_CURRENT_PRICE = @bid
+                        WHERE I_ID = @i_id
+                    """,
+                },
+                body=_new_bid_body,
+                weight=MIX["NewBid"],
+            ),
+            StoredProcedure(
+                "NewItem",
+                params=["i_id", "seller_id", "category_id", "start_price"],
+                statements={
+                    "get_seller": """
+                        SELECT U_RATING FROM USERACCT WHERE U_ID = @seller_id
+                    """,
+                    "get_category": """
+                        SELECT C_PARENT_ID FROM CATEGORY WHERE C_ID = @category_id
+                    """,
+                    "insert_item": """
+                        INSERT INTO ITEM
+                            (I_ID, I_U_ID, I_C_ID, I_CURRENT_PRICE,
+                             I_NUM_BIDS, I_STATUS)
+                        VALUES (@i_id, @seller_id, @category_id, @start_price, 0, 0)
+                    """,
+                },
+                body=_new_item_body,
+                weight=MIX["NewItem"],
+            ),
+            StoredProcedure(
+                "NewCommentAndResponse",
+                params=["ic_id", "i_id", "commenter_id"],
+                statements={
+                    "get_item": """
+                        SELECT @seller_id = I_U_ID FROM ITEM WHERE I_ID = @i_id
+                    """,
+                    "insert_comment": """
+                        INSERT INTO ITEM_COMMENT (IC_ID, IC_I_ID, IC_U_ID)
+                        VALUES (@ic_id, @i_id, @commenter_id)
+                    """,
+                    "get_seller_for_response": """
+                        SELECT U_RATING FROM USERACCT WHERE U_ID = @seller_id
+                    """,
+                },
+                body=_new_comment_body,
+                weight=MIX["NewCommentAndResponse"],
+            ),
+            StoredProcedure(
+                "NewPurchase",
+                params=["i_id", "buyer_id", "amount"],
+                statements={
+                    "get_item": """
+                        SELECT @seller_id = I_U_ID FROM ITEM WHERE I_ID = @i_id
+                    """,
+                    "insert_purchase": """
+                        INSERT INTO USERACCT_ITEM (UI_U_ID, UI_I_ID)
+                        VALUES (@buyer_id, @i_id)
+                    """,
+                    "close_item": """
+                        UPDATE ITEM SET I_STATUS = 2 WHERE I_ID = @i_id
+                    """,
+                    "pay_seller": """
+                        UPDATE USERACCT SET U_BALANCE = U_BALANCE + @amount
+                        WHERE U_ID = @seller_id
+                    """,
+                    "charge_buyer": """
+                        UPDATE USERACCT SET U_BALANCE = U_BALANCE - @amount
+                        WHERE U_ID = @buyer_id
+                    """,
+                },
+                body=_new_purchase_body,
+                weight=MIX["NewPurchase"],
+            ),
+            StoredProcedure(
+                "UpdateItem",
+                params=["i_id", "new_price"],
+                statements={
+                    "get_item": """
+                        SELECT @seller_id = I_U_ID FROM ITEM WHERE I_ID = @i_id
+                    """,
+                    "update_item": """
+                        UPDATE ITEM SET I_CURRENT_PRICE = @new_price
+                        WHERE I_ID = @i_id
+                    """,
+                },
+                body=_update_item_body,
+                weight=MIX["UpdateItem"],
+            ),
+        ]
+    )
+
+
+class AuctionMarkBenchmark(Benchmark):
+    """Internet-auction workload over ``config.users`` users."""
+
+    name = "auctionmark"
+
+    def __init__(self, config: AuctionMarkConfig | None = None) -> None:
+        self.config = config or AuctionMarkConfig()
+        self._next_item_id = 0
+        self._next_bid_id = 0
+        self._next_comment_id = 0
+        self._open_items: list[int] = []
+
+    def build_schema(self) -> DatabaseSchema:
+        return build_auctionmark_schema()
+
+    def build_catalog(self) -> ProcedureCatalog:
+        return build_auctionmark_catalog()
+
+    def load(self, database: Database, rng: random.Random) -> None:
+        cfg = self.config
+        for r in range(1, cfg.regions + 1):
+            database.insert("REGION", {"R_ID": r})
+        for c in range(1, cfg.categories + 1):
+            database.insert(
+                "CATEGORY", {"C_ID": c, "C_PARENT_ID": max(1, c // 2)}
+            )
+        for u in range(1, cfg.users + 1):
+            database.insert(
+                "USERACCT",
+                {
+                    "U_ID": u,
+                    "U_R_ID": 1 + u % cfg.regions,
+                    "U_BALANCE": 1000,
+                    "U_RATING": rng.randint(0, 5),
+                },
+            )
+        for u in range(1, cfg.users + 1):
+            for _ in range(cfg.initial_items_per_user):
+                self._next_item_id += 1
+                i_id = self._next_item_id
+                database.insert(
+                    "ITEM",
+                    {
+                        "I_ID": i_id,
+                        "I_U_ID": u,
+                        "I_C_ID": rng.randint(1, cfg.categories),
+                        "I_CURRENT_PRICE": rng.randint(1, 100),
+                        "I_NUM_BIDS": 0,
+                        "I_STATUS": 0,
+                    },
+                )
+                self._open_items.append(i_id)
+                for _ in range(cfg.initial_bids_per_item):
+                    self._next_bid_id += 1
+                    database.insert(
+                        "ITEM_BID",
+                        {
+                            "IB_ID": self._next_bid_id,
+                            "IB_I_ID": i_id,
+                            "IB_BUYER_ID": rng.randint(1, cfg.users),
+                            "IB_BID": rng.randint(1, 100),
+                        },
+                    )
+
+    def run_transaction(self, collector: TraceCollector, procedure, rng) -> None:
+        cfg = self.config
+        name = procedure.name
+        u_id = rng.randint(1, cfg.users)
+        i_id = rng.choice(self._open_items) if self._open_items else 1
+        if name == "GetItem":
+            collector.run(procedure, {"i_id": i_id})
+        elif name == "GetUserInfo":
+            collector.run(procedure, {"u_id": u_id})
+        elif name == "NewBid":
+            self._next_bid_id += 1
+            collector.run(
+                procedure,
+                {
+                    "ib_id": self._next_bid_id,
+                    "i_id": i_id,
+                    "buyer_id": u_id,
+                    "bid": rng.randint(1, 200),
+                },
+            )
+        elif name == "NewItem":
+            self._next_item_id += 1
+            collector.run(
+                procedure,
+                {
+                    "i_id": self._next_item_id,
+                    "seller_id": u_id,
+                    "category_id": rng.randint(1, cfg.categories),
+                    "start_price": rng.randint(1, 100),
+                },
+            )
+            self._open_items.append(self._next_item_id)
+        elif name == "NewCommentAndResponse":
+            self._next_comment_id += 1
+            collector.run(
+                procedure,
+                {
+                    "ic_id": self._next_comment_id,
+                    "i_id": i_id,
+                    "commenter_id": u_id,
+                },
+            )
+        elif name == "NewPurchase":
+            collector.run(
+                procedure,
+                {"i_id": i_id, "buyer_id": u_id, "amount": rng.randint(1, 200)},
+            )
+            # A purchased item leaves the auction pool (avoids duplicate
+            # purchases of the same item).
+            if i_id in self._open_items and len(self._open_items) > 1:
+                self._open_items.remove(i_id)
+        elif name == "UpdateItem":
+            collector.run(
+                procedure, {"i_id": i_id, "new_price": rng.randint(1, 200)}
+            )
+        else:  # pragma: no cover
+            raise ValueError(name)

@@ -1,0 +1,5 @@
+"""SEATS airline-ticketing benchmark."""
+
+from repro.workloads.seats.benchmark import SeatsBenchmark, SeatsConfig
+
+__all__ = ["SeatsBenchmark", "SeatsConfig"]

@@ -1,0 +1,418 @@
+"""SEATS: airline ticketing (customers, flights, reservations).
+
+No single table attribute partitions this workload: reservations link
+customers to flights. The join-extension insight is that both customers
+(via their home airport) and flights (via their departure airport) map to
+a common AIRPORT attribute, so JECB can partition everything by airport
+— which is why the paper sees a large JECB-vs-Horticulture gap here
+(Section 7.4). Customers book almost exclusively out of their home
+airport; the small remainder is inherently distributed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.procedures.procedure import (
+    ProcedureCatalog,
+    ProcedureContext,
+    StoredProcedure,
+)
+from repro.schema.database import DatabaseSchema
+from repro.schema.table import integer_table
+from repro.storage.database import Database
+from repro.trace.collector import TraceCollector
+from repro.workloads.base import Benchmark
+
+MIX = {
+    "DeleteReservation": 10.0,
+    "FindFlights": 10.0,
+    "FindOpenSeats": 35.0,
+    "NewReservation": 20.0,
+    "UpdateCustomer": 10.0,
+    "UpdateReservation": 15.0,
+}
+
+
+@dataclass
+class SeatsConfig:
+    airports: int = 10
+    customers_per_airport: int = 25
+    flights_per_airport: int = 15
+    airlines: int = 5
+    initial_reservations_per_flight: int = 4
+    remote_booking_fraction: float = 0.05
+
+
+def build_seats_schema() -> DatabaseSchema:
+    schema = DatabaseSchema("seats")
+    schema.add_table(integer_table("COUNTRY", ["CO_ID"], ["CO_ID"], read_only=True))
+    schema.add_table(
+        integer_table(
+            "AIRPORT", ["AP_ID", "AP_CO_ID"], ["AP_ID"], read_only=True
+        )
+    )
+    schema.add_table(
+        integer_table(
+            "AIRLINE", ["AL_ID", "AL_CO_ID"], ["AL_ID"], read_only=True
+        )
+    )
+    schema.add_table(
+        integer_table(
+            "CUSTOMER",
+            ["C_ID", "C_BASE_AP_ID", "C_BALANCE"],
+            ["C_ID"],
+        )
+    )
+    schema.add_table(
+        integer_table(
+            "FREQUENT_FLYER",
+            ["FF_C_ID", "FF_AL_ID"],
+            ["FF_C_ID", "FF_AL_ID"],
+        )
+    )
+    schema.add_table(
+        integer_table(
+            "FLIGHT",
+            [
+                "F_ID",
+                "F_AL_ID",
+                "F_DEPART_AP_ID",
+                "F_ARRIVE_AP_ID",
+                "F_DEPART_TIME",
+                "F_SEATS_LEFT",
+            ],
+            ["F_ID"],
+        )
+    )
+    schema.add_table(
+        integer_table(
+            "RESERVATION",
+            ["R_ID", "R_C_ID", "R_F_ID", "R_SEAT", "R_PRICE"],
+            ["R_ID"],
+        )
+    )
+    schema.add_foreign_key("AIRPORT", ["AP_CO_ID"], "COUNTRY", ["CO_ID"])
+    schema.add_foreign_key("AIRLINE", ["AL_CO_ID"], "COUNTRY", ["CO_ID"])
+    schema.add_foreign_key("CUSTOMER", ["C_BASE_AP_ID"], "AIRPORT", ["AP_ID"])
+    schema.add_foreign_key("FREQUENT_FLYER", ["FF_C_ID"], "CUSTOMER", ["C_ID"])
+    schema.add_foreign_key("FREQUENT_FLYER", ["FF_AL_ID"], "AIRLINE", ["AL_ID"])
+    schema.add_foreign_key("FLIGHT", ["F_AL_ID"], "AIRLINE", ["AL_ID"])
+    schema.add_foreign_key("FLIGHT", ["F_DEPART_AP_ID"], "AIRPORT", ["AP_ID"])
+    schema.add_foreign_key("FLIGHT", ["F_ARRIVE_AP_ID"], "AIRPORT", ["AP_ID"])
+    schema.add_foreign_key("RESERVATION", ["R_C_ID"], "CUSTOMER", ["C_ID"])
+    schema.add_foreign_key("RESERVATION", ["R_F_ID"], "FLIGHT", ["F_ID"])
+    return schema
+
+
+def _delete_reservation_body(ctx: ProcedureContext) -> None:
+    ctx.run("find_reservation")
+    if ctx.env.get("r_id") is None:
+        return
+    ctx.run("get_flight")
+    ctx.run("delete_reservation")
+    ctx.run("release_seat")
+    ctx.run("refund_customer")
+
+
+def _find_flights_body(ctx: ProcedureContext) -> None:
+    ctx.run("get_depart_airport")
+    ctx.run("get_arrive_airport")
+    ctx.run("search_flights")
+
+
+def _find_open_seats_body(ctx: ProcedureContext) -> None:
+    ctx.run("get_flight")
+    ctx.run("get_reservations")
+
+
+def _new_reservation_body(ctx: ProcedureContext) -> None:
+    ctx.run("get_customer")
+    ctx.run("get_flight_seats")
+    if (ctx.env.get("seats_left") or 0) <= 0:
+        return
+    ctx.run("get_frequent_flyer")
+    ctx.run("insert_reservation")
+    ctx.run("take_seat")
+
+
+def _update_customer_body(ctx: ProcedureContext) -> None:
+    ctx.run("get_customer")
+    ctx.run("update_customer")
+    ctx.run("get_frequent_flyer")
+
+
+def _update_reservation_body(ctx: ProcedureContext) -> None:
+    ctx.run("find_reservation")
+    if ctx.env.get("r_id") is None:
+        return
+    ctx.run("get_flight")
+    ctx.run("update_reservation")
+
+
+def build_seats_catalog() -> ProcedureCatalog:
+    return ProcedureCatalog(
+        [
+            StoredProcedure(
+                "DeleteReservation",
+                params=["c_id", "f_id"],
+                statements={
+                    "find_reservation": """
+                        SELECT @r_id = R_ID, @price = R_PRICE FROM RESERVATION
+                        WHERE R_C_ID = @c_id AND R_F_ID = @f_id
+                        LIMIT 1
+                    """,
+                    "get_flight": """
+                        SELECT F_DEPART_AP_ID FROM FLIGHT WHERE F_ID = @f_id
+                    """,
+                    "delete_reservation": """
+                        DELETE FROM RESERVATION WHERE R_ID = @r_id
+                    """,
+                    "release_seat": """
+                        UPDATE FLIGHT SET F_SEATS_LEFT = F_SEATS_LEFT + 1
+                        WHERE F_ID = @f_id
+                    """,
+                    "refund_customer": """
+                        UPDATE CUSTOMER SET C_BALANCE = C_BALANCE + @price
+                        WHERE C_ID = @c_id
+                    """,
+                },
+                body=_delete_reservation_body,
+                weight=MIX["DeleteReservation"],
+            ),
+            StoredProcedure(
+                "FindFlights",
+                params=["depart_ap_id", "arrive_ap_id", "time_lo", "time_hi"],
+                statements={
+                    "get_depart_airport": """
+                        SELECT AP_CO_ID FROM AIRPORT WHERE AP_ID = @depart_ap_id
+                    """,
+                    "get_arrive_airport": """
+                        SELECT AP_CO_ID FROM AIRPORT WHERE AP_ID = @arrive_ap_id
+                    """,
+                    "search_flights": """
+                        SELECT F_ID, F_AL_ID, F_DEPART_TIME FROM FLIGHT
+                        WHERE F_DEPART_AP_ID = @depart_ap_id
+                          AND F_DEPART_TIME BETWEEN @time_lo AND @time_hi
+                    """,
+                },
+                body=_find_flights_body,
+                weight=MIX["FindFlights"],
+            ),
+            StoredProcedure(
+                "FindOpenSeats",
+                params=["f_id"],
+                statements={
+                    "get_flight": """
+                        SELECT F_SEATS_LEFT, F_DEPART_AP_ID FROM FLIGHT
+                        WHERE F_ID = @f_id
+                    """,
+                    "get_reservations": """
+                        SELECT R_SEAT FROM RESERVATION WHERE R_F_ID = @f_id
+                    """,
+                },
+                body=_find_open_seats_body,
+                weight=MIX["FindOpenSeats"],
+            ),
+            StoredProcedure(
+                "NewReservation",
+                params=["r_id", "c_id", "f_id", "seat", "price"],
+                statements={
+                    "get_customer": """
+                        SELECT C_BASE_AP_ID FROM CUSTOMER WHERE C_ID = @c_id
+                    """,
+                    "get_flight_seats": """
+                        SELECT @seats_left = F_SEATS_LEFT FROM FLIGHT
+                        WHERE F_ID = @f_id
+                    """,
+                    "get_frequent_flyer": """
+                        SELECT FF_AL_ID FROM FREQUENT_FLYER WHERE FF_C_ID = @c_id
+                    """,
+                    "insert_reservation": """
+                        INSERT INTO RESERVATION (R_ID, R_C_ID, R_F_ID, R_SEAT, R_PRICE)
+                        VALUES (@r_id, @c_id, @f_id, @seat, @price)
+                    """,
+                    "take_seat": """
+                        UPDATE FLIGHT SET F_SEATS_LEFT = F_SEATS_LEFT - 1
+                        WHERE F_ID = @f_id
+                    """,
+                },
+                body=_new_reservation_body,
+                weight=MIX["NewReservation"],
+            ),
+            StoredProcedure(
+                "UpdateCustomer",
+                params=["c_id", "delta"],
+                statements={
+                    "get_customer": """
+                        SELECT C_BASE_AP_ID FROM CUSTOMER WHERE C_ID = @c_id
+                    """,
+                    "update_customer": """
+                        UPDATE CUSTOMER SET C_BALANCE = C_BALANCE + @delta
+                        WHERE C_ID = @c_id
+                    """,
+                    "get_frequent_flyer": """
+                        SELECT FF_AL_ID FROM FREQUENT_FLYER WHERE FF_C_ID = @c_id
+                    """,
+                },
+                body=_update_customer_body,
+                weight=MIX["UpdateCustomer"],
+            ),
+            StoredProcedure(
+                "UpdateReservation",
+                params=["c_id", "f_id", "new_seat"],
+                statements={
+                    "find_reservation": """
+                        SELECT @r_id = R_ID FROM RESERVATION
+                        WHERE R_C_ID = @c_id AND R_F_ID = @f_id
+                        LIMIT 1
+                    """,
+                    "get_flight": """
+                        SELECT F_DEPART_AP_ID FROM FLIGHT WHERE F_ID = @f_id
+                    """,
+                    "update_reservation": """
+                        UPDATE RESERVATION SET R_SEAT = @new_seat
+                        WHERE R_ID = @r_id
+                    """,
+                },
+                body=_update_reservation_body,
+                weight=MIX["UpdateReservation"],
+            ),
+        ]
+    )
+
+
+class SeatsBenchmark(Benchmark):
+    """Airline ticketing workload over ``config.airports`` airports."""
+
+    name = "seats"
+
+    def __init__(self, config: SeatsConfig | None = None) -> None:
+        self.config = config or SeatsConfig()
+        self._next_r_id = 0
+        #: (customer, flight) pairs with a live reservation, per airport
+        self._booked: list[tuple[int, int]] = []
+
+    def build_schema(self) -> DatabaseSchema:
+        return build_seats_schema()
+
+    def build_catalog(self) -> ProcedureCatalog:
+        return build_seats_catalog()
+
+    # ------------------------------------------------------------------
+    # helpers: id layout is airport-major so the driver can stay local
+    # ------------------------------------------------------------------
+    def _customer_id(self, airport: int, index: int) -> int:
+        return (airport - 1) * self.config.customers_per_airport + index
+
+    def _flight_id(self, airport: int, index: int) -> int:
+        return (airport - 1) * self.config.flights_per_airport + index
+
+    def load(self, database: Database, rng: random.Random) -> None:
+        cfg = self.config
+        for co in (1, 2):
+            database.insert("COUNTRY", {"CO_ID": co})
+        for ap in range(1, cfg.airports + 1):
+            database.insert("AIRPORT", {"AP_ID": ap, "AP_CO_ID": 1 + ap % 2})
+        for al in range(1, cfg.airlines + 1):
+            database.insert("AIRLINE", {"AL_ID": al, "AL_CO_ID": 1 + al % 2})
+        for ap in range(1, cfg.airports + 1):
+            for i in range(1, cfg.customers_per_airport + 1):
+                c_id = self._customer_id(ap, i)
+                database.insert(
+                    "CUSTOMER",
+                    {"C_ID": c_id, "C_BASE_AP_ID": ap, "C_BALANCE": 1000},
+                )
+                database.insert(
+                    "FREQUENT_FLYER",
+                    {"FF_C_ID": c_id, "FF_AL_ID": 1 + c_id % cfg.airlines},
+                )
+            for j in range(1, cfg.flights_per_airport + 1):
+                f_id = self._flight_id(ap, j)
+                arrive = 1 + (ap + j) % cfg.airports
+                database.insert(
+                    "FLIGHT",
+                    {
+                        "F_ID": f_id,
+                        "F_AL_ID": 1 + f_id % cfg.airlines,
+                        "F_DEPART_AP_ID": ap,
+                        "F_ARRIVE_AP_ID": arrive,
+                        "F_DEPART_TIME": rng.randint(0, 1440),
+                        "F_SEATS_LEFT": 50,
+                    },
+                )
+                for _ in range(cfg.initial_reservations_per_flight):
+                    c_id = self._customer_id(
+                        ap, rng.randint(1, cfg.customers_per_airport)
+                    )
+                    self._next_r_id += 1
+                    database.insert(
+                        "RESERVATION",
+                        {
+                            "R_ID": self._next_r_id,
+                            "R_C_ID": c_id,
+                            "R_F_ID": f_id,
+                            "R_SEAT": rng.randint(1, 50),
+                            "R_PRICE": rng.randint(50, 500),
+                        },
+                    )
+                    self._booked.append((c_id, f_id))
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+    def run_transaction(self, collector: TraceCollector, procedure, rng) -> None:
+        cfg = self.config
+        airport = rng.randint(1, cfg.airports)
+        c_id = self._customer_id(airport, rng.randint(1, cfg.customers_per_airport))
+        # Customers book from their home airport except for a small
+        # remote fraction (the inherently distributed remainder).
+        flight_airport = airport
+        if rng.random() < cfg.remote_booking_fraction:
+            flight_airport = rng.randint(1, cfg.airports)
+        f_id = self._flight_id(
+            flight_airport, rng.randint(1, cfg.flights_per_airport)
+        )
+        name = procedure.name
+        if name == "DeleteReservation":
+            if self._booked:
+                c_id, f_id = self._booked.pop(rng.randrange(len(self._booked)))
+            collector.run(procedure, {"c_id": c_id, "f_id": f_id})
+        elif name == "FindFlights":
+            lo = rng.randint(0, 1200)
+            collector.run(
+                procedure,
+                {
+                    "depart_ap_id": airport,
+                    "arrive_ap_id": 1 + (airport + 1) % cfg.airports,
+                    "time_lo": lo,
+                    "time_hi": lo + 240,
+                },
+            )
+        elif name == "FindOpenSeats":
+            collector.run(procedure, {"f_id": f_id})
+        elif name == "NewReservation":
+            self._next_r_id += 1
+            collector.run(
+                procedure,
+                {
+                    "r_id": self._next_r_id,
+                    "c_id": c_id,
+                    "f_id": f_id,
+                    "seat": rng.randint(1, 50),
+                    "price": rng.randint(50, 500),
+                },
+            )
+            self._booked.append((c_id, f_id))
+        elif name == "UpdateCustomer":
+            collector.run(procedure, {"c_id": c_id, "delta": rng.randint(-50, 50)})
+        elif name == "UpdateReservation":
+            if self._booked:
+                c_id, f_id = rng.choice(self._booked)
+            collector.run(
+                procedure,
+                {"c_id": c_id, "f_id": f_id, "new_seat": rng.randint(1, 50)},
+            )
+        else:  # pragma: no cover
+            raise ValueError(name)

@@ -1,0 +1,9 @@
+"""Section-7.6 synthetic workload: schema-respecting vs non-key joins."""
+
+from repro.workloads.synthetic.benchmark import (
+    SyntheticBenchmark,
+    SyntheticConfig,
+    group_partitioning,
+)
+
+__all__ = ["SyntheticBenchmark", "SyntheticConfig", "group_partitioning"]

@@ -1,0 +1,13 @@
+"""TATP telecom benchmark: 4 tables keyed by subscriber id."""
+
+from repro.workloads.tatp.benchmark import TatpBenchmark, TatpConfig
+from repro.workloads.tatp.schema import build_tatp_schema
+from repro.workloads.tatp.solutions import HORTICULTURE_SPEC, SUBSCRIBER_SPEC
+
+__all__ = [
+    "TatpBenchmark",
+    "TatpConfig",
+    "build_tatp_schema",
+    "SUBSCRIBER_SPEC",
+    "HORTICULTURE_SPEC",
+]

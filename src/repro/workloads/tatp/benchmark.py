@@ -1,0 +1,285 @@
+"""TATP loader, stored procedures, and driver.
+
+The standard seven transactions at the standard mix; every transaction
+touches data of exactly one subscriber, which is what makes TATP
+completely partitionable by ``S_ID``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.procedures.procedure import (
+    ProcedureCatalog,
+    ProcedureContext,
+    StoredProcedure,
+)
+from repro.schema.database import DatabaseSchema
+from repro.storage.database import Database
+from repro.trace.collector import TraceCollector
+from repro.workloads.base import Benchmark
+from repro.workloads.tatp.schema import build_tatp_schema
+
+MIX = {
+    "GetSubscriberData": 35.0,
+    "GetNewDestination": 10.0,
+    "GetAccessData": 35.0,
+    "UpdateSubscriberData": 2.0,
+    "UpdateLocation": 14.0,
+    "InsertCallForwarding": 2.0,
+    "DeleteCallForwarding": 2.0,
+}
+
+
+@dataclass
+class TatpConfig:
+    subscribers: int = 1000   # spec: 100k+
+    max_satellite_rows: int = 3
+
+
+def _get_new_destination_body(ctx: ProcedureContext) -> None:
+    ctx.run("get_special_facility")
+    ctx.run("get_call_forwarding")
+
+
+def _insert_cf_body(ctx: ProcedureContext) -> None:
+    ctx.run("check_subscriber")
+    facility = ctx.run("check_special_facility")
+    if not facility.rows:
+        return  # real TATP: the insert aborts when the facility is absent
+    existing = ctx.run("probe_call_forwarding")
+    if existing.rows:
+        return  # duplicate key: the spec expects ~30% of inserts to fail
+    ctx.run("insert_call_forwarding")
+
+
+def _delete_cf_body(ctx: ProcedureContext) -> None:
+    ctx.run("check_subscriber")
+    ctx.run("delete_call_forwarding")
+
+
+def build_tatp_catalog() -> ProcedureCatalog:
+    return ProcedureCatalog(
+        [
+            StoredProcedure(
+                "GetSubscriberData",
+                params=["s_id"],
+                statements={
+                    "get": """
+                        SELECT S_ID, BIT_1, VLR_LOCATION FROM SUBSCRIBER
+                        WHERE S_ID = @s_id
+                    """,
+                },
+                weight=MIX["GetSubscriberData"],
+            ),
+            StoredProcedure(
+                "GetNewDestination",
+                params=["s_id", "sf_type", "start_time"],
+                statements={
+                    "get_special_facility": """
+                        SELECT SF_ACTIVE FROM SPECIAL_FACILITY
+                        WHERE SF_S_ID = @s_id AND SF_TYPE = @sf_type
+                    """,
+                    "get_call_forwarding": """
+                        SELECT CF_NUMBERX FROM CALL_FORWARDING
+                        WHERE CF_S_ID = @s_id AND CF_SF_TYPE = @sf_type
+                          AND CF_START_TIME <= @start_time
+                    """,
+                },
+                body=_get_new_destination_body,
+                weight=MIX["GetNewDestination"],
+            ),
+            StoredProcedure(
+                "GetAccessData",
+                params=["s_id", "ai_type"],
+                statements={
+                    "get": """
+                        SELECT AI_DATA1 FROM ACCESS_INFO
+                        WHERE AI_S_ID = @s_id AND AI_TYPE = @ai_type
+                    """,
+                },
+                weight=MIX["GetAccessData"],
+            ),
+            StoredProcedure(
+                "UpdateSubscriberData",
+                params=["s_id", "bit", "sf_type"],
+                statements={
+                    "update_subscriber": """
+                        UPDATE SUBSCRIBER SET BIT_1 = @bit WHERE S_ID = @s_id
+                    """,
+                    "update_special_facility": """
+                        UPDATE SPECIAL_FACILITY SET SF_DATA = @bit
+                        WHERE SF_S_ID = @s_id AND SF_TYPE = @sf_type
+                    """,
+                },
+                weight=MIX["UpdateSubscriberData"],
+            ),
+            StoredProcedure(
+                "UpdateLocation",
+                params=["sub_nbr", "location"],
+                statements={
+                    "update": """
+                        UPDATE SUBSCRIBER SET VLR_LOCATION = @location
+                        WHERE SUB_NBR = @sub_nbr
+                    """,
+                },
+                weight=MIX["UpdateLocation"],
+            ),
+            StoredProcedure(
+                "InsertCallForwarding",
+                params=["s_id", "sf_type", "start_time", "end_time", "numberx"],
+                statements={
+                    "check_subscriber": """
+                        SELECT S_ID FROM SUBSCRIBER WHERE S_ID = @s_id
+                    """,
+                    "check_special_facility": """
+                        SELECT SF_TYPE FROM SPECIAL_FACILITY
+                        WHERE SF_S_ID = @s_id AND SF_TYPE = @sf_type
+                    """,
+                    "probe_call_forwarding": """
+                        SELECT CF_END_TIME FROM CALL_FORWARDING
+                        WHERE CF_S_ID = @s_id AND CF_SF_TYPE = @sf_type
+                          AND CF_START_TIME = @start_time
+                    """,
+                    "insert_call_forwarding": """
+                        INSERT INTO CALL_FORWARDING
+                            (CF_S_ID, CF_SF_TYPE, CF_START_TIME, CF_END_TIME, CF_NUMBERX)
+                        VALUES (@s_id, @sf_type, @start_time, @end_time, @numberx)
+                    """,
+                },
+                body=_insert_cf_body,
+                weight=MIX["InsertCallForwarding"],
+            ),
+            StoredProcedure(
+                "DeleteCallForwarding",
+                params=["s_id", "sf_type", "start_time"],
+                statements={
+                    "check_subscriber": """
+                        SELECT S_ID FROM SUBSCRIBER WHERE S_ID = @s_id
+                    """,
+                    "delete_call_forwarding": """
+                        DELETE FROM CALL_FORWARDING
+                        WHERE CF_S_ID = @s_id AND CF_SF_TYPE = @sf_type
+                          AND CF_START_TIME = @start_time
+                    """,
+                },
+                body=_delete_cf_body,
+                weight=MIX["DeleteCallForwarding"],
+            ),
+        ]
+    )
+
+
+class TatpBenchmark(Benchmark):
+    """Telecom home-location-register workload."""
+
+    name = "tatp"
+
+    def __init__(self, config: TatpConfig | None = None) -> None:
+        self.config = config or TatpConfig()
+
+    def build_schema(self) -> DatabaseSchema:
+        return build_tatp_schema()
+
+    def build_catalog(self) -> ProcedureCatalog:
+        return build_tatp_catalog()
+
+    def load(self, database: Database, rng: random.Random) -> None:
+        cfg = self.config
+        for s_id in range(1, cfg.subscribers + 1):
+            database.insert(
+                "SUBSCRIBER",
+                {
+                    "S_ID": s_id,
+                    "SUB_NBR": 100000 + s_id,
+                    "BIT_1": rng.randint(0, 1),
+                    "VLR_LOCATION": rng.randint(1, 1 << 16),
+                },
+            )
+            for ai_type in range(1, rng.randint(1, cfg.max_satellite_rows) + 1):
+                database.insert(
+                    "ACCESS_INFO",
+                    {
+                        "AI_S_ID": s_id,
+                        "AI_TYPE": ai_type,
+                        "AI_DATA1": rng.randint(0, 255),
+                    },
+                )
+            for sf_type in range(1, rng.randint(1, cfg.max_satellite_rows) + 1):
+                database.insert(
+                    "SPECIAL_FACILITY",
+                    {
+                        "SF_S_ID": s_id,
+                        "SF_TYPE": sf_type,
+                        "SF_ACTIVE": rng.randint(0, 1),
+                        "SF_DATA": rng.randint(0, 255),
+                    },
+                )
+                for start in range(0, rng.randint(0, 2) * 8, 8):
+                    database.insert(
+                        "CALL_FORWARDING",
+                        {
+                            "CF_S_ID": s_id,
+                            "CF_SF_TYPE": sf_type,
+                            "CF_START_TIME": start,
+                            "CF_END_TIME": start + 8,
+                            "CF_NUMBERX": rng.randint(1, 1 << 20),
+                        },
+                    )
+
+    def run_transaction(self, collector, procedure, rng: random.Random) -> None:
+        cfg = self.config
+        s_id = rng.randint(1, cfg.subscribers)
+        if procedure.name == "GetSubscriberData":
+            collector.run(procedure, {"s_id": s_id})
+        elif procedure.name == "GetNewDestination":
+            collector.run(
+                procedure,
+                {
+                    "s_id": s_id,
+                    "sf_type": rng.randint(1, cfg.max_satellite_rows),
+                    "start_time": rng.choice([0, 8, 16]),
+                },
+            )
+        elif procedure.name == "GetAccessData":
+            collector.run(
+                procedure,
+                {"s_id": s_id, "ai_type": rng.randint(1, cfg.max_satellite_rows)},
+            )
+        elif procedure.name == "UpdateSubscriberData":
+            collector.run(
+                procedure,
+                {
+                    "s_id": s_id,
+                    "bit": rng.randint(0, 1),
+                    "sf_type": rng.randint(1, cfg.max_satellite_rows),
+                },
+            )
+        elif procedure.name == "UpdateLocation":
+            collector.run(
+                procedure,
+                {"sub_nbr": 100000 + s_id, "location": rng.randint(1, 1 << 16)},
+            )
+        elif procedure.name == "InsertCallForwarding":
+            collector.run(
+                procedure,
+                {
+                    "s_id": s_id,
+                    "sf_type": rng.randint(1, cfg.max_satellite_rows),
+                    "start_time": rng.choice([1, 9, 17]) + rng.randint(0, 5),
+                    "end_time": 24,
+                    "numberx": rng.randint(1, 1 << 20),
+                },
+            )
+        elif procedure.name == "DeleteCallForwarding":
+            collector.run(
+                procedure,
+                {
+                    "s_id": s_id,
+                    "sf_type": rng.randint(1, cfg.max_satellite_rows),
+                    "start_time": rng.choice([0, 8, 16]),
+                },
+            )
+        else:  # pragma: no cover
+            raise ValueError(procedure.name)

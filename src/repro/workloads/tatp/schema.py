@@ -1,0 +1,52 @@
+"""TATP schema: SUBSCRIBER and its three satellite tables."""
+
+from __future__ import annotations
+
+from repro.schema.database import DatabaseSchema
+from repro.schema.table import integer_table
+
+
+def build_tatp_schema() -> DatabaseSchema:
+    schema = DatabaseSchema("tatp")
+    schema.add_table(
+        integer_table(
+            "SUBSCRIBER",
+            ["S_ID", "SUB_NBR", "BIT_1", "VLR_LOCATION"],
+            ["S_ID"],
+        )
+    )
+    schema.add_table(
+        integer_table(
+            "ACCESS_INFO",
+            ["AI_S_ID", "AI_TYPE", "AI_DATA1"],
+            ["AI_S_ID", "AI_TYPE"],
+        )
+    )
+    schema.add_table(
+        integer_table(
+            "SPECIAL_FACILITY",
+            ["SF_S_ID", "SF_TYPE", "SF_ACTIVE", "SF_DATA"],
+            ["SF_S_ID", "SF_TYPE"],
+        )
+    )
+    schema.add_table(
+        integer_table(
+            "CALL_FORWARDING",
+            ["CF_S_ID", "CF_SF_TYPE", "CF_START_TIME", "CF_END_TIME", "CF_NUMBERX"],
+            ["CF_S_ID", "CF_SF_TYPE", "CF_START_TIME"],
+        )
+    )
+    schema.add_foreign_key("ACCESS_INFO", ["AI_S_ID"], "SUBSCRIBER", ["S_ID"])
+    schema.add_foreign_key(
+        "SPECIAL_FACILITY", ["SF_S_ID"], "SUBSCRIBER", ["S_ID"]
+    )
+    schema.add_foreign_key(
+        "CALL_FORWARDING",
+        ["CF_S_ID", "CF_SF_TYPE"],
+        "SPECIAL_FACILITY",
+        ["SF_S_ID", "SF_TYPE"],
+    )
+    schema.add_foreign_key(
+        "CALL_FORWARDING", ["CF_S_ID"], "SUBSCRIBER", ["S_ID"]
+    )
+    return schema

@@ -1,0 +1,13 @@
+"""Known TATP partitioning specs: everything by subscriber id."""
+
+from __future__ import annotations
+
+SUBSCRIBER_SPEC: dict[str, str | None] = {
+    "SUBSCRIBER": "S_ID",
+    "ACCESS_INFO": "AI_S_ID",
+    "SPECIAL_FACILITY": "SF_S_ID",
+    "CALL_FORWARDING": "CF_S_ID",
+}
+
+#: Horticulture's published TATP design: the subscriber-id optimum.
+HORTICULTURE_SPEC = SUBSCRIBER_SPEC

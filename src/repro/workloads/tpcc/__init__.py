@@ -1,0 +1,24 @@
+"""TPC-C order-processing benchmark (shape-faithful reimplementation).
+
+Nine tables with the standard key/foreign-key topology, five transaction
+classes at the standard mix, including the two sources of inherent
+distribution under warehouse partitioning: Payment's 15% remote customers
+and New-Order's 1%-per-line remote supply warehouses.
+"""
+
+from repro.workloads.tpcc.benchmark import TpccBenchmark, TpccConfig
+from repro.workloads.tpcc.schema import build_tpcc_schema
+from repro.workloads.tpcc.solutions import (
+    HORTICULTURE_SPEC,
+    WAREHOUSE_SPEC,
+    warehouse_partitioning,
+)
+
+__all__ = [
+    "TpccBenchmark",
+    "TpccConfig",
+    "build_tpcc_schema",
+    "WAREHOUSE_SPEC",
+    "HORTICULTURE_SPEC",
+    "warehouse_partitioning",
+]

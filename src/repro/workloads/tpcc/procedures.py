@@ -1,0 +1,242 @@
+"""TPC-C stored procedures: SQL text plus control-flow glue.
+
+The SQL here is exactly what JECB's static analyzer sees; the glue only
+threads values between statements (loops over order lines / districts),
+the way real stored procedures use local variables.
+"""
+
+from __future__ import annotations
+
+from repro.procedures.procedure import ProcedureCatalog, ProcedureContext, StoredProcedure
+
+# Standard TPC-C mix percentages.
+MIX = {
+    "NewOrder": 45.0,
+    "Payment": 43.0,
+    "OrderStatus": 4.0,
+    "Delivery": 4.0,
+    "StockLevel": 4.0,
+}
+
+
+def _new_order_body(ctx: ProcedureContext) -> None:
+    ctx.run("get_warehouse")
+    ctx.run("get_next_order_id")
+    ctx.run("advance_order_id")
+    ctx.run("get_customer")
+    ctx["ol_cnt"] = len(ctx["items"])
+    ctx.run("insert_order")
+    ctx.run("insert_new_order")
+    for number, (item_id, supply_w_id, quantity) in enumerate(ctx["items"], 1):
+        ctx.run(
+            "get_item_price", i_id=item_id
+        )
+        ctx.run(
+            "update_stock", i_id=item_id, supply_w_id=supply_w_id
+        )
+        price = ctx.env.get("i_price") or 0
+        ctx.run(
+            "insert_order_line",
+            i_id=item_id,
+            supply_w_id=supply_w_id,
+            ol_number=number,
+            quantity=quantity,
+            amount=price * quantity,
+        )
+
+
+def _order_status_body(ctx: ProcedureContext) -> None:
+    ctx.run("get_customer")
+    ctx.run("get_last_order")
+    if ctx.env.get("o_id") is not None:
+        ctx.run("get_order_lines")
+
+
+def _delivery_body(ctx: ProcedureContext) -> None:
+    for district in range(1, ctx["district_count"] + 1):
+        ctx["d_id"] = district
+        ctx.run("oldest_new_order")
+        if ctx.env.get("no_o_id") is None:
+            continue
+        ctx.run("delete_new_order")
+        ctx.run("get_order_customer")
+        ctx.run("mark_delivered")
+        ctx.run("sum_order_lines")
+        if ctx.env.get("total") is None:
+            ctx["total"] = 0
+        ctx.run("credit_customer")
+
+
+def _stock_level_body(ctx: ProcedureContext) -> None:
+    ctx.run("get_next_order_id")
+    next_o = ctx.env.get("next_o_id") or 0
+    ctx["low_o_id"] = max(next_o - 20, 0)
+    result = ctx.run("recent_items")
+    ctx["item_ids"] = sorted({row["OL_I_ID"] for row in result.rows})
+    if ctx["item_ids"]:
+        ctx.run("count_low_stock")
+
+
+def build_tpcc_catalog() -> ProcedureCatalog:
+    """All five TPC-C transaction classes with the standard mix."""
+    new_order = StoredProcedure(
+        "NewOrder",
+        params=["w_id", "d_id", "c_id", "items"],
+        statements={
+            "get_warehouse": """
+                SELECT W_TAX FROM WAREHOUSE WHERE W_ID = @w_id
+            """,
+            "get_next_order_id": """
+                SELECT @o_id = D_NEXT_O_ID FROM DISTRICT
+                WHERE D_W_ID = @w_id AND D_ID = @d_id
+            """,
+            "advance_order_id": """
+                UPDATE DISTRICT SET D_NEXT_O_ID = D_NEXT_O_ID + 1
+                WHERE D_W_ID = @w_id AND D_ID = @d_id
+            """,
+            "get_customer": """
+                SELECT C_BALANCE FROM CUSTOMER
+                WHERE C_W_ID = @w_id AND C_D_ID = @d_id AND C_ID = @c_id
+            """,
+            "insert_order": """
+                INSERT INTO ORDERS
+                    (O_W_ID, O_D_ID, O_ID, O_C_ID, O_CARRIER_ID, O_OL_CNT)
+                VALUES (@w_id, @d_id, @o_id, @c_id, 0, @ol_cnt)
+            """,
+            "insert_new_order": """
+                INSERT INTO NEW_ORDER (NO_W_ID, NO_D_ID, NO_O_ID)
+                VALUES (@w_id, @d_id, @o_id)
+            """,
+            "get_item_price": """
+                SELECT @i_price = I_PRICE FROM ITEM WHERE I_ID = @i_id
+            """,
+            "update_stock": """
+                UPDATE STOCK
+                SET S_QUANTITY = S_QUANTITY - 1,
+                    S_YTD = S_YTD + 1,
+                    S_ORDER_CNT = S_ORDER_CNT + 1
+                WHERE S_W_ID = @supply_w_id AND S_I_ID = @i_id
+            """,
+            "insert_order_line": """
+                INSERT INTO ORDER_LINE
+                    (OL_W_ID, OL_D_ID, OL_O_ID, OL_NUMBER, OL_I_ID,
+                     OL_SUPPLY_W_ID, OL_QUANTITY, OL_AMOUNT)
+                VALUES (@w_id, @d_id, @o_id, @ol_number, @i_id,
+                        @supply_w_id, @quantity, @amount)
+            """,
+        },
+        body=_new_order_body,
+        weight=MIX["NewOrder"],
+    )
+
+    payment = StoredProcedure(
+        "Payment",
+        params=["w_id", "d_id", "c_w_id", "c_d_id", "c_id", "amount", "h_id"],
+        statements={
+            "pay_warehouse": """
+                UPDATE WAREHOUSE SET W_YTD = W_YTD + @amount
+                WHERE W_ID = @w_id
+            """,
+            "pay_district": """
+                UPDATE DISTRICT SET D_YTD = D_YTD + @amount
+                WHERE D_W_ID = @w_id AND D_ID = @d_id
+            """,
+            "pay_customer": """
+                UPDATE CUSTOMER
+                SET C_BALANCE = C_BALANCE - @amount,
+                    C_PAYMENT_CNT = C_PAYMENT_CNT + 1
+                WHERE C_W_ID = @c_w_id AND C_D_ID = @c_d_id AND C_ID = @c_id
+            """,
+            "record_history": """
+                INSERT INTO HISTORY
+                    (H_ID, H_C_W_ID, H_C_D_ID, H_C_ID, H_W_ID, H_D_ID, H_AMOUNT)
+                VALUES (@h_id, @c_w_id, @c_d_id, @c_id, @w_id, @d_id, @amount)
+            """,
+        },
+        weight=MIX["Payment"],
+    )
+
+    order_status = StoredProcedure(
+        "OrderStatus",
+        params=["c_w_id", "c_d_id", "c_id"],
+        statements={
+            "get_customer": """
+                SELECT C_BALANCE FROM CUSTOMER
+                WHERE C_W_ID = @c_w_id AND C_D_ID = @c_d_id AND C_ID = @c_id
+            """,
+            "get_last_order": """
+                SELECT @o_id = O_ID FROM ORDERS
+                WHERE O_W_ID = @c_w_id AND O_D_ID = @c_d_id AND O_C_ID = @c_id
+                ORDER BY O_ID DESC LIMIT 1
+            """,
+            "get_order_lines": """
+                SELECT OL_I_ID, OL_SUPPLY_W_ID, OL_QUANTITY FROM ORDER_LINE
+                WHERE OL_W_ID = @c_w_id AND OL_D_ID = @c_d_id AND OL_O_ID = @o_id
+            """,
+        },
+        body=_order_status_body,
+        weight=MIX["OrderStatus"],
+    )
+
+    delivery = StoredProcedure(
+        "Delivery",
+        params=["w_id", "carrier_id", "district_count"],
+        statements={
+            "oldest_new_order": """
+                SELECT @no_o_id = NO_O_ID FROM NEW_ORDER
+                WHERE NO_W_ID = @w_id AND NO_D_ID = @d_id
+                ORDER BY NO_O_ID ASC LIMIT 1
+            """,
+            "delete_new_order": """
+                DELETE FROM NEW_ORDER
+                WHERE NO_W_ID = @w_id AND NO_D_ID = @d_id AND NO_O_ID = @no_o_id
+            """,
+            "get_order_customer": """
+                SELECT @c_id = O_C_ID FROM ORDERS
+                WHERE O_W_ID = @w_id AND O_D_ID = @d_id AND O_ID = @no_o_id
+            """,
+            "mark_delivered": """
+                UPDATE ORDERS SET O_CARRIER_ID = @carrier_id
+                WHERE O_W_ID = @w_id AND O_D_ID = @d_id AND O_ID = @no_o_id
+            """,
+            "sum_order_lines": """
+                SELECT @total = SUM(OL_AMOUNT) FROM ORDER_LINE
+                WHERE OL_W_ID = @w_id AND OL_D_ID = @d_id AND OL_O_ID = @no_o_id
+            """,
+            "credit_customer": """
+                UPDATE CUSTOMER
+                SET C_BALANCE = C_BALANCE + @total,
+                    C_DELIVERY_CNT = C_DELIVERY_CNT + 1
+                WHERE C_W_ID = @w_id AND C_D_ID = @d_id AND C_ID = @c_id
+            """,
+        },
+        body=_delivery_body,
+        weight=MIX["Delivery"],
+    )
+
+    stock_level = StoredProcedure(
+        "StockLevel",
+        params=["w_id", "d_id", "threshold"],
+        statements={
+            "get_next_order_id": """
+                SELECT @next_o_id = D_NEXT_O_ID FROM DISTRICT
+                WHERE D_W_ID = @w_id AND D_ID = @d_id
+            """,
+            "recent_items": """
+                SELECT DISTINCT OL_I_ID FROM ORDER_LINE
+                WHERE OL_W_ID = @w_id AND OL_D_ID = @d_id
+                  AND OL_O_ID BETWEEN @low_o_id AND @next_o_id
+            """,
+            "count_low_stock": """
+                SELECT COUNT(S_I_ID) FROM STOCK
+                WHERE S_W_ID = @w_id AND S_I_ID IN @item_ids
+                  AND S_QUANTITY < @threshold
+            """,
+        },
+        body=_stock_level_body,
+        weight=MIX["StockLevel"],
+    )
+
+    return ProcedureCatalog(
+        [new_order, payment, order_status, delivery, stock_level]
+    )

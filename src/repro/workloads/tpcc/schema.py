@@ -1,0 +1,139 @@
+"""TPC-C schema: 9 tables, standard primary and foreign keys."""
+
+from __future__ import annotations
+
+from repro.schema.database import DatabaseSchema
+from repro.schema.table import integer_table
+
+
+def build_tpcc_schema() -> DatabaseSchema:
+    """The TPC-C table/foreign-key topology (payload columns trimmed)."""
+    schema = DatabaseSchema("tpcc")
+
+    schema.add_table(
+        integer_table("WAREHOUSE", ["W_ID", "W_TAX", "W_YTD"], ["W_ID"])
+    )
+    schema.add_table(
+        integer_table(
+            "DISTRICT",
+            ["D_W_ID", "D_ID", "D_TAX", "D_YTD", "D_NEXT_O_ID"],
+            ["D_W_ID", "D_ID"],
+        )
+    )
+    schema.add_table(
+        integer_table(
+            "CUSTOMER",
+            [
+                "C_W_ID",
+                "C_D_ID",
+                "C_ID",
+                "C_BALANCE",
+                "C_PAYMENT_CNT",
+                "C_DELIVERY_CNT",
+            ],
+            ["C_W_ID", "C_D_ID", "C_ID"],
+        )
+    )
+    schema.add_table(
+        integer_table(
+            "HISTORY",
+            [
+                "H_ID",
+                "H_C_W_ID",
+                "H_C_D_ID",
+                "H_C_ID",
+                "H_W_ID",
+                "H_D_ID",
+                "H_AMOUNT",
+            ],
+            ["H_ID"],
+        )
+    )
+    schema.add_table(
+        integer_table(
+            "ORDERS",
+            ["O_W_ID", "O_D_ID", "O_ID", "O_C_ID", "O_CARRIER_ID", "O_OL_CNT"],
+            ["O_W_ID", "O_D_ID", "O_ID"],
+        )
+    )
+    schema.add_table(
+        integer_table(
+            "NEW_ORDER",
+            ["NO_W_ID", "NO_D_ID", "NO_O_ID"],
+            ["NO_W_ID", "NO_D_ID", "NO_O_ID"],
+        )
+    )
+    schema.add_table(
+        integer_table(
+            "ORDER_LINE",
+            [
+                "OL_W_ID",
+                "OL_D_ID",
+                "OL_O_ID",
+                "OL_NUMBER",
+                "OL_I_ID",
+                "OL_SUPPLY_W_ID",
+                "OL_QUANTITY",
+                "OL_AMOUNT",
+            ],
+            ["OL_W_ID", "OL_D_ID", "OL_O_ID", "OL_NUMBER"],
+        )
+    )
+    schema.add_table(
+        integer_table(
+            "STOCK",
+            ["S_W_ID", "S_I_ID", "S_QUANTITY", "S_YTD", "S_ORDER_CNT"],
+            ["S_W_ID", "S_I_ID"],
+        )
+    )
+    schema.add_table(
+        integer_table("ITEM", ["I_ID", "I_PRICE"], ["I_ID"], read_only=True)
+    )
+
+    schema.add_foreign_key("DISTRICT", ["D_W_ID"], "WAREHOUSE", ["W_ID"])
+    schema.add_foreign_key(
+        "CUSTOMER", ["C_W_ID", "C_D_ID"], "DISTRICT", ["D_W_ID", "D_ID"]
+    )
+    schema.add_foreign_key(
+        "HISTORY",
+        ["H_C_W_ID", "H_C_D_ID", "H_C_ID"],
+        "CUSTOMER",
+        ["C_W_ID", "C_D_ID", "C_ID"],
+    )
+    schema.add_foreign_key(
+        "HISTORY", ["H_W_ID", "H_D_ID"], "DISTRICT", ["D_W_ID", "D_ID"]
+    )
+    schema.add_foreign_key(
+        "ORDERS", ["O_W_ID", "O_D_ID"], "DISTRICT", ["D_W_ID", "D_ID"]
+    )
+    schema.add_foreign_key(
+        "ORDERS",
+        ["O_W_ID", "O_D_ID", "O_C_ID"],
+        "CUSTOMER",
+        ["C_W_ID", "C_D_ID", "C_ID"],
+    )
+    schema.add_foreign_key(
+        "NEW_ORDER",
+        ["NO_W_ID", "NO_D_ID", "NO_O_ID"],
+        "ORDERS",
+        ["O_W_ID", "O_D_ID", "O_ID"],
+    )
+    schema.add_foreign_key(
+        "ORDER_LINE",
+        ["OL_W_ID", "OL_D_ID", "OL_O_ID"],
+        "ORDERS",
+        ["O_W_ID", "O_D_ID", "O_ID"],
+    )
+    schema.add_foreign_key("ORDER_LINE", ["OL_I_ID"], "ITEM", ["I_ID"])
+    schema.add_foreign_key(
+        "ORDER_LINE",
+        ["OL_SUPPLY_W_ID", "OL_I_ID"],
+        "STOCK",
+        ["S_W_ID", "S_I_ID"],
+    )
+    schema.add_foreign_key(
+        "ORDER_LINE", ["OL_SUPPLY_W_ID"], "WAREHOUSE", ["W_ID"]
+    )
+    schema.add_foreign_key("STOCK", ["S_W_ID"], "WAREHOUSE", ["W_ID"])
+    schema.add_foreign_key("STOCK", ["S_I_ID"], "ITEM", ["I_ID"])
+    return schema

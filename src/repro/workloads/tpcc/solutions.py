@@ -1,0 +1,42 @@
+"""Known TPC-C partitioning specs.
+
+``WAREHOUSE_SPEC`` is the textbook optimum (everything by warehouse id,
+ITEM replicated), which is also what Horticulture's published design
+chooses; the Figure-5/6 benches compare partitioners against it.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.published import build_spec_partitioning
+from repro.core.mapping import IdentityModMapping
+from repro.core.solution import DatabasePartitioning
+from repro.schema.database import DatabaseSchema
+
+#: Partition every table by its warehouse-id column; replicate ITEM.
+WAREHOUSE_SPEC: dict[str, str | None] = {
+    "WAREHOUSE": "W_ID",
+    "DISTRICT": "D_W_ID",
+    "CUSTOMER": "C_W_ID",
+    "HISTORY": "H_W_ID",
+    "ORDERS": "O_W_ID",
+    "NEW_ORDER": "NO_W_ID",
+    "ORDER_LINE": "OL_W_ID",
+    "STOCK": "S_W_ID",
+    "ITEM": None,
+}
+
+#: Horticulture's published TPC-C design coincides with the optimum.
+HORTICULTURE_SPEC = WAREHOUSE_SPEC
+
+
+def warehouse_partitioning(
+    schema: DatabaseSchema, num_partitions: int
+) -> DatabasePartitioning:
+    """The reference optimum used as ground truth in Figures 5 and 6."""
+    return build_spec_partitioning(
+        schema,
+        num_partitions,
+        WAREHOUSE_SPEC,
+        mapping=IdentityModMapping(num_partitions),
+        name="tpcc-by-warehouse",
+    )

@@ -1,0 +1,19 @@
+"""TPC-E brokerage benchmark (shape-faithful reimplementation).
+
+33 tables with the standard key/foreign-key topology and the 10 activity
+types decomposed into 15 transaction classes at Table 3's mix. The
+customer -> account -> broker / trade -> security structure is what gives
+JECB its join-extension advantage on this benchmark (Section 7.5).
+"""
+
+from repro.workloads.tpce.benchmark import TpceBenchmark, TpceConfig
+from repro.workloads.tpce.schema import build_tpce_schema
+from repro.workloads.tpce.solutions import HORTICULTURE_SPEC, PAPER_MIX
+
+__all__ = [
+    "TpceBenchmark",
+    "TpceConfig",
+    "build_tpce_schema",
+    "HORTICULTURE_SPEC",
+    "PAPER_MIX",
+]

@@ -1,0 +1,448 @@
+"""TPC-E data loader and transaction driver."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.procedures.procedure import StoredProcedure
+from repro.schema.database import DatabaseSchema
+from repro.storage.database import Database
+from repro.trace.collector import TraceCollector
+from repro.workloads.base import Benchmark
+from repro.workloads.tpce.procedures import build_tpce_catalog
+from repro.workloads.tpce.schema import build_tpce_schema
+
+
+@dataclass
+class TpceConfig:
+    """Scaled-down cardinalities (spec sizes are ~500x larger).
+
+    ``accounts_per_customer`` > 1 is essential: it is what makes CA_ID
+    trees non-mapping-independent for Customer-Position (Example 7) and
+    what separates the C_ID and B_ID candidates in Phase 3.
+    """
+
+    customers: int = 100
+    min_accounts: int = 3
+    max_accounts: int = 5
+    brokers: int = 20
+    companies: int = 20
+    securities_per_company: int = 2
+    exchanges: int = 2
+    industries: int = 5
+    sectors: int = 3
+    initial_trades_per_account: int = 12
+    loaded_days: int = 6
+    transactions_per_day: int = 200
+    limit_order_fraction: float = 0.5
+
+
+class TpceBenchmark(Benchmark):
+    """Brokerage workload: 33 tables, 15 transaction classes."""
+
+    name = "tpce"
+
+    def __init__(self, config: TpceConfig | None = None) -> None:
+        self.config = config or TpceConfig()
+        self._next_trade_id = 0
+        self._pending: list[int] = []
+        self._txn_count = 0
+        self._account_ids: list[int] = []
+
+    @property
+    def num_securities(self) -> int:
+        return self.config.companies * self.config.securities_per_company
+
+    def build_schema(self) -> DatabaseSchema:
+        return build_tpce_schema()
+
+    def build_catalog(self):
+        return build_tpce_catalog()
+
+    # ------------------------------------------------------------------
+    # loader
+    # ------------------------------------------------------------------
+    def load(self, database: Database, rng: random.Random) -> None:
+        cfg = self.config
+        self._load_market(database, rng)
+        self._load_customers(database, rng)
+        self._load_trades(database, rng)
+
+    def _load_market(self, database: Database, rng: random.Random) -> None:
+        cfg = self.config
+        for zc in range(1, 6):
+            database.insert("ZIP_CODE", {"ZC_CODE": zc})
+        address_count = cfg.companies + cfg.exchanges
+        for ad in range(1, address_count + 1):
+            database.insert(
+                "ADDRESS", {"AD_ID": ad, "AD_ZC_CODE": 1 + ad % 5}
+            )
+        for st in range(1, 5):
+            database.insert("STATUS_TYPE", {"ST_ID": st})
+        for tt in (1, 2):  # 1 = market, 2 = limit
+            database.insert("TRADE_TYPE", {"TT_ID": tt})
+        for tx in range(1, 4):
+            database.insert("TAXRATE", {"TX_ID": tx, "TX_RATE": tx * 10})
+        for sc in range(1, cfg.sectors + 1):
+            database.insert("SECTOR", {"SC_ID": sc})
+        for industry in range(1, cfg.industries + 1):
+            database.insert(
+                "INDUSTRY",
+                {"IN_ID": industry, "IN_SC_ID": 1 + industry % cfg.sectors},
+            )
+        for ex in range(1, cfg.exchanges + 1):
+            database.insert(
+                "EXCHANGE", {"EX_ID": ex, "EX_AD_ID": cfg.companies + ex}
+            )
+            for tier in range(1, 4):
+                for tt in (1, 2):
+                    database.insert(
+                        "COMMISSION_RATE",
+                        {
+                            "CR_C_TIER": tier,
+                            "CR_TT_ID": tt,
+                            "CR_EX_ID": ex,
+                            "CR_RATE": rng.randint(1, 50),
+                        },
+                    )
+        for tier in range(1, 4):
+            for tt in (1, 2):
+                database.insert(
+                    "CHARGE",
+                    {"CH_TT_ID": tt, "CH_C_TIER": tier, "CH_CHRG": tier},
+                )
+        news_id = 0
+        symbol = 0
+        for co in range(1, cfg.companies + 1):
+            database.insert(
+                "COMPANY",
+                {
+                    "CO_ID": co,
+                    "CO_IN_ID": 1 + co % cfg.industries,
+                    "CO_AD_ID": co,
+                },
+            )
+            competitor = 1 + co % cfg.companies
+            if competitor != co:
+                database.insert(
+                    "COMPANY_COMPETITOR",
+                    {
+                        "CP_CO_ID": co,
+                        "CP_COMP_CO_ID": competitor,
+                        "CP_IN_ID": 1 + co % cfg.industries,
+                    },
+                )
+            for year_qtr in range(4):
+                database.insert(
+                    "FINANCIAL",
+                    {
+                        "FI_CO_ID": co,
+                        "FI_YEAR": 2013,
+                        "FI_QTR": year_qtr + 1,
+                        "FI_REVENUE": rng.randint(100, 10000),
+                    },
+                )
+            for _ in range(2):
+                news_id += 1
+                database.insert("NEWS_ITEM", {"NI_ID": news_id})
+                database.insert(
+                    "NEWS_XREF", {"NX_NI_ID": news_id, "NX_CO_ID": co}
+                )
+            for _ in range(cfg.securities_per_company):
+                symbol += 1
+                database.insert(
+                    "SECURITY",
+                    {
+                        "S_SYMB": symbol,
+                        "S_CO_ID": co,
+                        "S_EX_ID": 1 + symbol % cfg.exchanges,
+                        "S_NUM_OUT": rng.randint(1000, 100000),
+                    },
+                )
+                database.insert(
+                    "LAST_TRADE",
+                    {
+                        "LT_S_SYMB": symbol,
+                        "LT_PRICE": rng.randint(10, 500),
+                        "LT_VOL": 0,
+                    },
+                )
+                for day in range(1, cfg.loaded_days + 1):
+                    database.insert(
+                        "DAILY_MARKET",
+                        {
+                            "DM_DATE": day,
+                            "DM_S_SYMB": symbol,
+                            "DM_CLOSE": rng.randint(10, 500),
+                        },
+                    )
+
+    def _load_customers(self, database: Database, rng: random.Random) -> None:
+        cfg = self.config
+        ca_id = 0
+        for c_id in range(1, cfg.customers + 1):
+            database.insert(
+                "CUSTOMER",
+                {
+                    "C_ID": c_id,
+                    "C_TAX_ID": 90000 + c_id,
+                    "C_TIER": rng.randint(1, 3),
+                },
+            )
+            database.insert(
+                "CUSTOMER_TAXRATE",
+                {"CX_TX_ID": 1 + c_id % 3, "CX_C_ID": c_id},
+            )
+            database.insert("WATCH_LIST", {"WL_ID": c_id, "WL_C_ID": c_id})
+            for symbol in rng.sample(
+                range(1, self.num_securities + 1),
+                k=min(rng.randint(3, 6), self.num_securities),
+            ):
+                database.insert(
+                    "WATCH_ITEM", {"WI_WL_ID": c_id, "WI_S_SYMB": symbol}
+                )
+            account_count = rng.randint(cfg.min_accounts, cfg.max_accounts)
+            # Accounts of one customer use distinct brokers (as in the
+            # spec's round-robin assignment); this is what separates the
+            # C_ID and B_ID candidates in Phase 3.
+            broker_ids = rng.sample(
+                range(1, cfg.brokers + 1), k=min(account_count, cfg.brokers)
+            )
+            for i in range(account_count):
+                ca_id += 1
+                self._account_ids.append(ca_id)
+                database.insert(
+                    "CUSTOMER_ACCOUNT",
+                    {
+                        "CA_ID": ca_id,
+                        "CA_C_ID": c_id,
+                        "CA_B_ID": broker_ids[i % len(broker_ids)],
+                        "CA_BAL": rng.randint(1000, 100000),
+                    },
+                )
+                database.insert(
+                    "ACCOUNT_PERMISSION",
+                    {"AP_CA_ID": ca_id, "AP_TAX_ID": 90000 + c_id},
+                )
+        for b_id in range(1, cfg.brokers + 1):
+            database.insert(
+                "BROKER",
+                {
+                    "B_ID": b_id,
+                    "B_NAME": 5000 + b_id,
+                    "B_NUM_TRADES": 0,
+                    "B_COMM_TOTAL": 0,
+                },
+            )
+
+    def _load_trades(self, database: Database, rng: random.Random) -> None:
+        cfg = self.config
+        summaries: dict[tuple[int, int], int] = {}
+        for ca_id in self._account_ids:
+            for i in range(cfg.initial_trades_per_account):
+                self._next_trade_id += 1
+                t_id = self._next_trade_id
+                symbol = rng.randint(1, self.num_securities)
+                qty = rng.randint(1, 100)
+                price = rng.randint(10, 500)
+                day = rng.randint(1, cfg.loaded_days)
+                pending = i == 0 and ca_id % 3 == 0
+                database.insert(
+                    "TRADE",
+                    {
+                        "T_ID": t_id,
+                        "T_DTS": day,
+                        "T_ST_ID": 1 if pending else 2,
+                        "T_TT_ID": 1 + t_id % 2,
+                        "T_S_SYMB": symbol,
+                        "T_CA_ID": ca_id,
+                        "T_QTY": qty,
+                        "T_PRICE": price,
+                        "T_EXEC_ID": 0,
+                    },
+                )
+                database.insert(
+                    "TRADE_HISTORY", {"TH_T_ID": t_id, "TH_ST_ID": 1}
+                )
+                if pending:
+                    self._pending.append(t_id)
+                    continue
+                database.insert(
+                    "TRADE_HISTORY", {"TH_T_ID": t_id, "TH_ST_ID": 2}
+                )
+                database.insert(
+                    "SETTLEMENT", {"SE_T_ID": t_id, "SE_AMT": qty * price}
+                )
+                database.insert(
+                    "CASH_TRANSACTION",
+                    {"CT_T_ID": t_id, "CT_AMT": qty * price},
+                )
+                database.insert(
+                    "HOLDING",
+                    {
+                        "H_T_ID": t_id,
+                        "H_CA_ID": ca_id,
+                        "H_S_SYMB": symbol,
+                        "H_QTY": qty,
+                        "H_PRICE": price,
+                    },
+                )
+                database.insert(
+                    "HOLDING_HISTORY",
+                    {
+                        "HH_H_T_ID": t_id,
+                        "HH_T_ID": t_id,
+                        "HH_BEFORE_QTY": 0,
+                        "HH_AFTER_QTY": qty,
+                    },
+                )
+                key = (ca_id, symbol)
+                if key in summaries:
+                    summaries[key] += qty
+                    database.update(
+                        "HOLDING_SUMMARY",
+                        (ca_id, symbol),
+                        {"HS_QTY": summaries[key]},
+                    )
+                else:
+                    summaries[key] = qty
+                    database.insert(
+                        "HOLDING_SUMMARY",
+                        {"HS_CA_ID": ca_id, "HS_S_SYMB": symbol, "HS_QTY": qty},
+                    )
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+    @property
+    def _current_day(self) -> int:
+        return self.config.loaded_days + 1 + (
+            self._txn_count // self.config.transactions_per_day
+        )
+
+    def run_transaction(
+        self,
+        collector: TraceCollector,
+        procedure: StoredProcedure,
+        rng: random.Random,
+    ) -> None:
+        cfg = self.config
+        self._txn_count += 1
+        name = procedure.name
+        acct_id = rng.choice(self._account_ids)
+        cust_id = rng.randint(1, cfg.customers)
+        symbol = rng.randint(1, self.num_securities)
+        loaded_day = rng.randint(1, cfg.loaded_days)
+
+        if name == "Broker-Volume":
+            count = rng.randint(2, min(4, cfg.brokers))
+            names = [5000 + b for b in rng.sample(range(1, cfg.brokers + 1), count)]
+            collector.run(procedure, {"broker_names": names})
+        elif name == "Customer-Position":
+            collector.run(
+                procedure,
+                {
+                    "cust_id": cust_id,
+                    "tax_id": 90000 + cust_id,
+                    "by_tax_id": rng.random() < 0.5,
+                },
+            )
+        elif name == "Market-Feed":
+            count = rng.randint(3, 5)
+            entries = [
+                (s, rng.randint(10, 500))
+                for s in rng.sample(range(1, self.num_securities + 1), count)
+            ]
+            collector.run(procedure, {"entries": entries})
+        elif name == "Market-Watch":
+            roll = rng.random()
+            if roll < 0.60:
+                variant = "watch_list"
+            elif roll < 0.95:
+                variant = "account"
+            else:
+                variant = "industry"
+            collector.run(
+                procedure,
+                {
+                    "variant": variant,
+                    "cust_id": cust_id,
+                    "acct_id": acct_id,
+                    "industry_id": rng.randint(1, cfg.industries),
+                    "day": loaded_day,
+                },
+            )
+        elif name == "Security-Detail":
+            collector.run(procedure, {"symbol": symbol, "day": loaded_day})
+        elif name in ("Trade-Lookup-Frame1", "Trade-Update-Frame1"):
+            count = rng.randint(2, 4)
+            trade_ids = [
+                rng.randint(1, self._next_trade_id) for _ in range(count)
+            ]
+            args = {"trade_ids": sorted(set(trade_ids))}
+            if name == "Trade-Update-Frame1":
+                args["exec_id"] = rng.randint(1, 1000)
+            collector.run(procedure, args)
+        elif name == "Trade-Lookup-Frame2":
+            start = rng.randint(1, max(self._current_day - 3, 1))
+            collector.run(
+                procedure,
+                {"acct_id": acct_id, "start_day": start, "end_day": start + 2},
+            )
+        elif name in ("Trade-Lookup-Frame3", "Trade-Update-Frame3"):
+            collector.run(
+                procedure,
+                {
+                    "symbol": symbol,
+                    "start_day": loaded_day,
+                    "end_day": loaded_day,
+                },
+            )
+        elif name == "Trade-Lookup-Frame4":
+            collector.run(procedure, {"acct_id": acct_id, "day": loaded_day})
+        elif name == "Trade-Order":
+            self._next_trade_id += 1
+            is_limit = rng.random() < cfg.limit_order_fraction
+            collector.run(
+                procedure,
+                {
+                    "acct_id": acct_id,
+                    "symbol": symbol,
+                    "qty": rng.randint(1, 100),
+                    "trade_type": 2 if is_limit else 1,
+                    "t_id": self._next_trade_id,
+                    "day": self._current_day,
+                    "is_limit": is_limit,
+                },
+            )
+            if not is_limit:
+                self._pending.append(self._next_trade_id)
+        elif name == "Trade-Result":
+            if self._pending:
+                trade_id = self._pending.pop(
+                    rng.randrange(len(self._pending))
+                )
+            else:
+                trade_id = rng.randint(1, self._next_trade_id)
+            collector.run(
+                procedure,
+                {
+                    "trade_id": trade_id,
+                    "comm": rng.randint(1, 50),
+                    "amount": rng.randint(10, 5000),
+                },
+            )
+        elif name == "Trade-Status":
+            collector.run(procedure, {"acct_id": acct_id})
+        elif name == "Trade-Update-Frame2":
+            collector.run(
+                procedure,
+                {
+                    "acct_id": acct_id,
+                    "start_day": loaded_day,
+                    "end_day": loaded_day,
+                },
+            )
+        else:  # pragma: no cover - catalog is fixed
+            raise ValueError(f"unknown TPC-E procedure {name}")

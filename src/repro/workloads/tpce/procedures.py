@@ -1,0 +1,736 @@
+"""TPC-E stored procedures: the 10 activities as 15 transaction classes.
+
+Mix percentages and the decomposition into frames follow the paper's
+Table 3. Each procedure's SQL is complete enough for the static analyzer
+to recover the join structure of Figure 3 (e.g. Customer-Position links
+CUSTOMER -> CUSTOMER_ACCOUNT -> TRADE/HOLDING_SUMMARY through both
+explicit joins and variable-threaded implicit joins).
+
+Status codes: 1 = pending, 2 = completed, 3 = submitted (market feed),
+4 = canceled.
+"""
+
+from __future__ import annotations
+
+from repro.procedures.procedure import (
+    ProcedureCatalog,
+    ProcedureContext,
+    StoredProcedure,
+)
+
+# Table 3 mix percentages.
+PAPER_MIX = {
+    "Broker-Volume": 4.9,
+    "Customer-Position": 13.0,
+    "Market-Feed": 1.0,
+    "Market-Watch": 18.0,
+    "Security-Detail": 14.0,
+    "Trade-Lookup-Frame1": 2.4,
+    "Trade-Lookup-Frame2": 2.4,
+    "Trade-Lookup-Frame3": 2.4,
+    "Trade-Lookup-Frame4": 0.8,
+    "Trade-Order": 10.1,
+    "Trade-Result": 10.0,
+    "Trade-Status": 19.0,
+    "Trade-Update-Frame1": 0.66,
+    "Trade-Update-Frame2": 0.67,
+    "Trade-Update-Frame3": 0.67,
+}
+
+
+# ----------------------------------------------------------------------
+# glue bodies
+# ----------------------------------------------------------------------
+def _customer_position_body(ctx: ProcedureContext) -> None:
+    if ctx.env.get("by_tax_id"):
+        ctx.run("lookup_by_tax")
+        if ctx.env.get("cust_id") is None:
+            return
+    else:
+        ctx.run("get_customer")
+    accounts = ctx.run("get_accounts")
+    symbols: set[int] = set()
+    for row in accounts.rows:
+        holdings = ctx.run("get_holdings", acct_id=row["CA_ID"])
+        symbols |= {h["HS_S_SYMB"] for h in holdings.rows}
+    if symbols:
+        ctx.run("get_prices", symbols=sorted(symbols))
+    if accounts.rows:
+        first = accounts.rows[0]["CA_ID"]
+        ctx.run("get_trades", acct_id=first)
+        ctx.run("get_trade_history", acct_id=first)
+
+
+def _market_feed_body(ctx: ProcedureContext) -> None:
+    for symbol, price in ctx["entries"]:
+        ctx.run("update_last_trade", symbol=symbol, price=price)
+        requests = ctx.run("find_requests", symbol=symbol)
+        for request in requests.rows:
+            t_id = request["TR_T_ID"]
+            ctx.run("mark_submitted", req_t_id=t_id, price=price)
+            ctx.run("delete_request", req_t_id=t_id)
+            ctx.run("record_history", req_t_id=t_id)
+
+
+def _market_watch_body(ctx: ProcedureContext) -> None:
+    variant = ctx["variant"]
+    symbols: list[int] = []
+    if variant == "watch_list":
+        ctx.run("get_watch_list")
+        if ctx.env.get("wl_id") is not None:
+            items = ctx.run("get_watch_items")
+            symbols = [r["WI_S_SYMB"] for r in items.rows]
+    elif variant == "account":
+        holdings = ctx.run("get_holding_symbols")
+        symbols = [r["HS_S_SYMB"] for r in holdings.rows]
+    else:  # industry
+        companies = ctx.run("get_industry_companies")
+        for row in companies.rows:
+            found = ctx.run("get_company_securities", co_id=row["CO_ID"])
+            symbols.extend(r["S_SYMB"] for r in found.rows)
+    if symbols:
+        ctx.run("get_prices", symbols=sorted(set(symbols)))
+        ctx.run("get_closes", symbols=sorted(set(symbols)))
+
+
+def _security_detail_body(ctx: ProcedureContext) -> None:
+    ctx.run("get_security")
+    if ctx.env.get("co_id") is None:
+        return
+    ctx.run("get_company")
+    ctx.run("get_address")
+    ctx.run("get_zip")
+    ctx.run("get_exchange")
+    ctx.run("get_industry")
+    ctx.run("get_sector")
+    ctx.run("get_financials")
+    ctx.run("get_daily")
+    ctx.run("get_last")
+    news = ctx.run("get_news")
+    for row in news.rows[:2]:
+        ctx.run("read_news", ni_id=row["NX_NI_ID"])
+    ctx.run("get_competitors")
+
+
+def _trade_lookup2_body(ctx: ProcedureContext) -> None:
+    found = ctx.run("find_trades")
+    ids = [r["T_ID"] for r in found.rows]
+    if not ids:
+        return
+    ctx["found_ids"] = ids
+    ctx.run("get_settlements")
+    ctx.run("get_cash")
+    ctx.run("get_history")
+
+
+_trade_lookup3_body = _trade_lookup2_body
+
+
+def _trade_lookup4_body(ctx: ProcedureContext) -> None:
+    ctx.run("find_trade")
+    if ctx.env.get("t_id") is not None:
+        ctx.run("get_holding_history")
+
+
+def _trade_order_body(ctx: ProcedureContext) -> None:
+    ctx.run("get_account")
+    if ctx.env.get("b_id") is None:
+        return
+    ctx.run("get_customer")
+    ctx.run("check_permission")
+    ctx.run("get_broker")
+    ctx.run("get_security")
+    ctx.run("get_company")
+    ctx.run("get_last_price")
+    ctx.run("get_holding_summary")
+    ctx.run("get_cust_taxrate")
+    ctx.run("get_charge")
+    ctx.run("get_commission")
+    ctx.run("insert_trade")
+    if ctx.env.get("is_limit"):
+        ctx.run("insert_request")
+    ctx.run("record_history")
+
+
+def _trade_result_body(ctx: ProcedureContext) -> None:
+    ctx.run("get_trade")
+    if ctx.env.get("acct_id") is None:
+        return
+    ctx.run("get_account")
+    summary = ctx.run("get_holding_summary")
+    if summary.rows:
+        ctx.run("update_holding_summary")
+    else:
+        ctx.run("insert_holding_summary")
+    holding = ctx.run("probe_holding")
+    if not holding.rows:
+        ctx.run("insert_holding")
+        ctx.run("insert_holding_history")
+    ctx.run("complete_trade")
+    history = ctx.run("probe_history")
+    if not history.rows:
+        ctx.run("record_history")
+    settlement = ctx.run("probe_settlement")
+    if not settlement.rows:
+        ctx.run("insert_settlement")
+    cash = ctx.run("probe_cash")
+    if not cash.rows:
+        ctx.run("insert_cash")
+    ctx.run("get_cust_taxrate")
+    ctx.run("pay_broker")
+    ctx.run("update_balance")
+
+
+def _trade_status_body(ctx: ProcedureContext) -> None:
+    trades = ctx.run("get_trades")
+    ctx.run("get_account")
+    if ctx.env.get("b_id") is None:
+        return
+    ctx.run("get_broker")
+    ctx.run("get_customer")
+    symbols = sorted({r["T_S_SYMB"] for r in trades.rows})
+    if symbols:
+        ctx.run("get_securities", symbols=symbols)
+
+
+def _trade_update1_body(ctx: ProcedureContext) -> None:
+    ctx.run("get_trades")
+    ctx.run("update_exec")
+    ctx.run("get_settlements")
+    ctx.run("get_cash")
+    ctx.run("get_history")
+
+
+def _trade_update2_body(ctx: ProcedureContext) -> None:
+    found = ctx.run("find_trades")
+    ids = [r["T_ID"] for r in found.rows]
+    if not ids:
+        return
+    ctx["found_ids"] = ids
+    ctx.run("update_settlements")
+    ctx.run("get_cash")
+    ctx.run("get_history")
+
+
+def _trade_update3_body(ctx: ProcedureContext) -> None:
+    found = ctx.run("find_trades")
+    ids = [r["T_ID"] for r in found.rows]
+    if not ids:
+        return
+    ctx["found_ids"] = ids
+    ctx.run("update_cash")
+    ctx.run("get_settlements")
+    ctx.run("get_history")
+
+
+# ----------------------------------------------------------------------
+# catalog
+# ----------------------------------------------------------------------
+def build_tpce_catalog() -> ProcedureCatalog:  # noqa: PLR0915 - one table per class
+    procedures = [
+        StoredProcedure(
+            "Broker-Volume",
+            params=["broker_names"],
+            statements={
+                "volume": """
+                    SELECT SUM(TR_QTY) FROM TRADE_REQUEST join BROKER
+                    on TR_B_ID = B_ID
+                    WHERE B_NAME IN @broker_names
+                """,
+            },
+            weight=PAPER_MIX["Broker-Volume"],
+        ),
+        StoredProcedure(
+            "Customer-Position",
+            params=["cust_id", "tax_id", "by_tax_id"],
+            statements={
+                "lookup_by_tax": """
+                    SELECT @cust_id = C_ID FROM CUSTOMER
+                    WHERE C_TAX_ID = @tax_id
+                """,
+                "get_customer": """
+                    SELECT C_TIER FROM CUSTOMER WHERE C_ID = @cust_id
+                """,
+                "get_accounts": """
+                    SELECT CA_ID, CA_BAL FROM CUSTOMER_ACCOUNT
+                    WHERE CA_C_ID = @cust_id
+                """,
+                "get_holdings": """
+                    SELECT HS_S_SYMB, HS_QTY FROM HOLDING_SUMMARY
+                    WHERE HS_CA_ID = @acct_id
+                """,
+                "get_prices": """
+                    SELECT LT_PRICE FROM LAST_TRADE
+                    WHERE LT_S_SYMB IN @symbols
+                """,
+                "get_trades": """
+                    SELECT T_ID, T_ST_ID FROM TRADE
+                    WHERE T_CA_ID = @acct_id
+                    ORDER BY T_DTS DESC LIMIT 10
+                """,
+                "get_trade_history": """
+                    SELECT TH_ST_ID FROM TRADE_HISTORY join TRADE
+                    on TH_T_ID = T_ID
+                    WHERE T_CA_ID = @acct_id
+                """,
+            },
+            body=_customer_position_body,
+            weight=PAPER_MIX["Customer-Position"],
+        ),
+        StoredProcedure(
+            "Market-Feed",
+            params=["entries"],
+            statements={
+                "update_last_trade": """
+                    UPDATE LAST_TRADE
+                    SET LT_PRICE = @price, LT_VOL = LT_VOL + 1
+                    WHERE LT_S_SYMB = @symbol
+                """,
+                "find_requests": """
+                    SELECT TR_T_ID, TR_QTY FROM TRADE_REQUEST
+                    WHERE TR_S_SYMB = @symbol
+                """,
+                "mark_submitted": """
+                    UPDATE TRADE SET T_ST_ID = 3, T_PRICE = @price
+                    WHERE T_ID = @req_t_id
+                """,
+                "delete_request": """
+                    DELETE FROM TRADE_REQUEST WHERE TR_T_ID = @req_t_id
+                """,
+                "record_history": """
+                    INSERT INTO TRADE_HISTORY (TH_T_ID, TH_ST_ID)
+                    VALUES (@req_t_id, 3)
+                """,
+            },
+            body=_market_feed_body,
+            weight=PAPER_MIX["Market-Feed"],
+        ),
+        StoredProcedure(
+            "Market-Watch",
+            params=["variant", "cust_id", "acct_id", "industry_id", "day"],
+            statements={
+                "get_watch_list": """
+                    SELECT @wl_id = WL_ID FROM WATCH_LIST
+                    WHERE WL_C_ID = @cust_id
+                """,
+                "get_watch_items": """
+                    SELECT WI_S_SYMB FROM WATCH_ITEM WHERE WI_WL_ID = @wl_id
+                """,
+                "get_holding_symbols": """
+                    SELECT HS_S_SYMB, HS_QTY FROM HOLDING_SUMMARY
+                    WHERE HS_CA_ID = @acct_id
+                """,
+                "get_industry_companies": """
+                    SELECT CO_ID FROM COMPANY WHERE CO_IN_ID = @industry_id
+                """,
+                "get_company_securities": """
+                    SELECT S_SYMB FROM SECURITY WHERE S_CO_ID = @co_id
+                """,
+                "get_prices": """
+                    SELECT LT_PRICE FROM LAST_TRADE
+                    WHERE LT_S_SYMB IN @symbols
+                """,
+                "get_closes": """
+                    SELECT DM_CLOSE FROM DAILY_MARKET
+                    WHERE DM_S_SYMB IN @symbols AND DM_DATE = @day
+                """,
+            },
+            body=_market_watch_body,
+            weight=PAPER_MIX["Market-Watch"],
+        ),
+        StoredProcedure(
+            "Security-Detail",
+            params=["symbol", "day"],
+            statements={
+                "get_security": """
+                    SELECT @co_id = S_CO_ID, @ex_id = S_EX_ID FROM SECURITY
+                    WHERE S_SYMB = @symbol
+                """,
+                "get_company": """
+                    SELECT @in_id = CO_IN_ID, @ad_id = CO_AD_ID FROM COMPANY
+                    WHERE CO_ID = @co_id
+                """,
+                "get_address": """
+                    SELECT @zc = AD_ZC_CODE FROM ADDRESS WHERE AD_ID = @ad_id
+                """,
+                "get_zip": """
+                    SELECT ZC_CODE FROM ZIP_CODE WHERE ZC_CODE = @zc
+                """,
+                "get_exchange": """
+                    SELECT EX_AD_ID FROM EXCHANGE WHERE EX_ID = @ex_id
+                """,
+                "get_industry": """
+                    SELECT @sc = IN_SC_ID FROM INDUSTRY WHERE IN_ID = @in_id
+                """,
+                "get_sector": """
+                    SELECT SC_ID FROM SECTOR WHERE SC_ID = @sc
+                """,
+                "get_financials": """
+                    SELECT FI_REVENUE FROM FINANCIAL WHERE FI_CO_ID = @co_id
+                """,
+                "get_daily": """
+                    SELECT DM_CLOSE FROM DAILY_MARKET
+                    WHERE DM_S_SYMB = @symbol AND DM_DATE = @day
+                """,
+                "get_last": """
+                    SELECT LT_PRICE FROM LAST_TRADE WHERE LT_S_SYMB = @symbol
+                """,
+                "get_news": """
+                    SELECT NX_NI_ID FROM NEWS_XREF WHERE NX_CO_ID = @co_id
+                """,
+                "read_news": """
+                    SELECT NI_ID FROM NEWS_ITEM WHERE NI_ID = @ni_id
+                """,
+                "get_competitors": """
+                    SELECT CP_COMP_CO_ID FROM COMPANY_COMPETITOR
+                    WHERE CP_CO_ID = @co_id
+                """,
+            },
+            body=_security_detail_body,
+            weight=PAPER_MIX["Security-Detail"],
+        ),
+        StoredProcedure(
+            "Trade-Lookup-Frame1",
+            params=["trade_ids"],
+            statements={
+                "get_trades": """
+                    SELECT T_QTY, T_PRICE, T_CA_ID FROM TRADE
+                    WHERE T_ID IN @trade_ids
+                """,
+                "get_settlements": """
+                    SELECT SE_AMT FROM SETTLEMENT WHERE SE_T_ID IN @trade_ids
+                """,
+                "get_cash": """
+                    SELECT CT_AMT FROM CASH_TRANSACTION
+                    WHERE CT_T_ID IN @trade_ids
+                """,
+                "get_history": """
+                    SELECT TH_ST_ID FROM TRADE_HISTORY
+                    WHERE TH_T_ID IN @trade_ids
+                """,
+            },
+            weight=PAPER_MIX["Trade-Lookup-Frame1"],
+        ),
+        StoredProcedure(
+            "Trade-Lookup-Frame2",
+            params=["acct_id", "start_day", "end_day"],
+            statements={
+                "find_trades": """
+                    SELECT T_ID FROM TRADE
+                    WHERE T_CA_ID = @acct_id
+                      AND T_DTS BETWEEN @start_day AND @end_day
+                    LIMIT 20
+                """,
+                "get_settlements": """
+                    SELECT SE_AMT FROM SETTLEMENT WHERE SE_T_ID IN @found_ids
+                """,
+                "get_cash": """
+                    SELECT CT_AMT FROM CASH_TRANSACTION
+                    WHERE CT_T_ID IN @found_ids
+                """,
+                "get_history": """
+                    SELECT TH_ST_ID FROM TRADE_HISTORY
+                    WHERE TH_T_ID IN @found_ids
+                """,
+            },
+            body=_trade_lookup2_body,
+            weight=PAPER_MIX["Trade-Lookup-Frame2"],
+        ),
+        StoredProcedure(
+            "Trade-Lookup-Frame3",
+            params=["symbol", "start_day", "end_day"],
+            statements={
+                "find_trades": """
+                    SELECT T_ID FROM TRADE
+                    WHERE T_S_SYMB = @symbol
+                      AND T_DTS BETWEEN @start_day AND @end_day
+                    LIMIT 20
+                """,
+                "get_settlements": """
+                    SELECT SE_AMT FROM SETTLEMENT WHERE SE_T_ID IN @found_ids
+                """,
+                "get_cash": """
+                    SELECT CT_AMT FROM CASH_TRANSACTION
+                    WHERE CT_T_ID IN @found_ids
+                """,
+                "get_history": """
+                    SELECT TH_ST_ID FROM TRADE_HISTORY
+                    WHERE TH_T_ID IN @found_ids
+                """,
+            },
+            body=_trade_lookup3_body,
+            weight=PAPER_MIX["Trade-Lookup-Frame3"],
+        ),
+        StoredProcedure(
+            "Trade-Lookup-Frame4",
+            params=["acct_id", "day"],
+            statements={
+                "find_trade": """
+                    SELECT @t_id = T_ID FROM TRADE
+                    WHERE T_CA_ID = @acct_id AND T_DTS = @day
+                    LIMIT 1
+                """,
+                "get_holding_history": """
+                    SELECT HH_H_T_ID, HH_BEFORE_QTY FROM HOLDING_HISTORY
+                    WHERE HH_T_ID = @t_id
+                """,
+            },
+            body=_trade_lookup4_body,
+            weight=PAPER_MIX["Trade-Lookup-Frame4"],
+        ),
+        StoredProcedure(
+            "Trade-Order",
+            params=[
+                "acct_id", "symbol", "qty", "trade_type", "t_id", "day",
+                "is_limit",
+            ],
+            statements={
+                "get_account": """
+                    SELECT @b_id = CA_B_ID, @cust_id = CA_C_ID
+                    FROM CUSTOMER_ACCOUNT WHERE CA_ID = @acct_id
+                """,
+                "get_customer": """
+                    SELECT @tier = C_TIER FROM CUSTOMER WHERE C_ID = @cust_id
+                """,
+                "check_permission": """
+                    SELECT AP_TAX_ID FROM ACCOUNT_PERMISSION
+                    WHERE AP_CA_ID = @acct_id
+                """,
+                "get_broker": """
+                    SELECT B_NAME FROM BROKER WHERE B_ID = @b_id
+                """,
+                "get_security": """
+                    SELECT @co_id = S_CO_ID, @ex_id = S_EX_ID FROM SECURITY
+                    WHERE S_SYMB = @symbol
+                """,
+                "get_company": """
+                    SELECT CO_IN_ID FROM COMPANY WHERE CO_ID = @co_id
+                """,
+                "get_last_price": """
+                    SELECT @price = LT_PRICE FROM LAST_TRADE
+                    WHERE LT_S_SYMB = @symbol
+                """,
+                "get_holding_summary": """
+                    SELECT HS_QTY FROM HOLDING_SUMMARY
+                    WHERE HS_CA_ID = @acct_id AND HS_S_SYMB = @symbol
+                """,
+                "get_cust_taxrate": """
+                    SELECT CX_TX_ID FROM CUSTOMER_TAXRATE
+                    WHERE CX_C_ID = @cust_id
+                """,
+                "get_charge": """
+                    SELECT CH_CHRG FROM CHARGE
+                    WHERE CH_TT_ID = @trade_type AND CH_C_TIER = @tier
+                """,
+                "get_commission": """
+                    SELECT CR_RATE FROM COMMISSION_RATE
+                    WHERE CR_C_TIER = @tier AND CR_TT_ID = @trade_type
+                      AND CR_EX_ID = @ex_id
+                """,
+                "insert_trade": """
+                    INSERT INTO TRADE
+                        (T_ID, T_DTS, T_ST_ID, T_TT_ID, T_S_SYMB, T_CA_ID,
+                         T_QTY, T_PRICE, T_EXEC_ID)
+                    VALUES (@t_id, @day, 1, @trade_type, @symbol, @acct_id,
+                            @qty, @price, 0)
+                """,
+                "insert_request": """
+                    INSERT INTO TRADE_REQUEST
+                        (TR_T_ID, TR_TT_ID, TR_S_SYMB, TR_QTY, TR_B_ID)
+                    VALUES (@t_id, @trade_type, @symbol, @qty, @b_id)
+                """,
+                "record_history": """
+                    INSERT INTO TRADE_HISTORY (TH_T_ID, TH_ST_ID)
+                    VALUES (@t_id, 1)
+                """,
+            },
+            body=_trade_order_body,
+            weight=PAPER_MIX["Trade-Order"],
+        ),
+        StoredProcedure(
+            "Trade-Result",
+            params=["trade_id", "comm", "amount"],
+            statements={
+                "get_trade": """
+                    SELECT @acct_id = T_CA_ID, @symbol = T_S_SYMB,
+                           @qty = T_QTY, @trade_type = T_TT_ID,
+                           @price = T_PRICE
+                    FROM TRADE WHERE T_ID = @trade_id
+                """,
+                "get_account": """
+                    SELECT @b_id = CA_B_ID, @cust_id = CA_C_ID
+                    FROM CUSTOMER_ACCOUNT WHERE CA_ID = @acct_id
+                """,
+                "get_holding_summary": """
+                    SELECT HS_QTY FROM HOLDING_SUMMARY
+                    WHERE HS_CA_ID = @acct_id AND HS_S_SYMB = @symbol
+                """,
+                "update_holding_summary": """
+                    UPDATE HOLDING_SUMMARY SET HS_QTY = HS_QTY + @qty
+                    WHERE HS_CA_ID = @acct_id AND HS_S_SYMB = @symbol
+                """,
+                "insert_holding_summary": """
+                    INSERT INTO HOLDING_SUMMARY (HS_CA_ID, HS_S_SYMB, HS_QTY)
+                    VALUES (@acct_id, @symbol, @qty)
+                """,
+                "probe_holding": """
+                    SELECT H_QTY FROM HOLDING WHERE H_T_ID = @trade_id
+                """,
+                "insert_holding": """
+                    INSERT INTO HOLDING (H_T_ID, H_CA_ID, H_S_SYMB, H_QTY, H_PRICE)
+                    VALUES (@trade_id, @acct_id, @symbol, @qty, @price)
+                """,
+                "insert_holding_history": """
+                    INSERT INTO HOLDING_HISTORY
+                        (HH_H_T_ID, HH_T_ID, HH_BEFORE_QTY, HH_AFTER_QTY)
+                    VALUES (@trade_id, @trade_id, 0, @qty)
+                """,
+                "complete_trade": """
+                    UPDATE TRADE SET T_ST_ID = 2 WHERE T_ID = @trade_id
+                """,
+                "probe_history": """
+                    SELECT TH_ST_ID FROM TRADE_HISTORY
+                    WHERE TH_T_ID = @trade_id AND TH_ST_ID = 2
+                """,
+                "record_history": """
+                    INSERT INTO TRADE_HISTORY (TH_T_ID, TH_ST_ID)
+                    VALUES (@trade_id, 2)
+                """,
+                "probe_settlement": """
+                    SELECT SE_AMT FROM SETTLEMENT WHERE SE_T_ID = @trade_id
+                """,
+                "insert_settlement": """
+                    INSERT INTO SETTLEMENT (SE_T_ID, SE_AMT)
+                    VALUES (@trade_id, @amount)
+                """,
+                "probe_cash": """
+                    SELECT CT_AMT FROM CASH_TRANSACTION
+                    WHERE CT_T_ID = @trade_id
+                """,
+                "insert_cash": """
+                    INSERT INTO CASH_TRANSACTION (CT_T_ID, CT_AMT)
+                    VALUES (@trade_id, @amount)
+                """,
+                "get_cust_taxrate": """
+                    SELECT CX_TX_ID FROM CUSTOMER_TAXRATE
+                    WHERE CX_C_ID = @cust_id
+                """,
+                "pay_broker": """
+                    UPDATE BROKER
+                    SET B_NUM_TRADES = B_NUM_TRADES + 1,
+                        B_COMM_TOTAL = B_COMM_TOTAL + @comm
+                    WHERE B_ID = @b_id
+                """,
+                "update_balance": """
+                    UPDATE CUSTOMER_ACCOUNT SET CA_BAL = CA_BAL + @amount
+                    WHERE CA_ID = @acct_id
+                """,
+            },
+            body=_trade_result_body,
+            weight=PAPER_MIX["Trade-Result"],
+        ),
+        StoredProcedure(
+            "Trade-Status",
+            params=["acct_id"],
+            statements={
+                "get_trades": """
+                    SELECT T_ID, T_ST_ID, T_TT_ID, T_S_SYMB, T_DTS FROM TRADE
+                    WHERE T_CA_ID = @acct_id
+                    ORDER BY T_DTS DESC LIMIT 50
+                """,
+                "get_account": """
+                    SELECT @b_id = CA_B_ID, @cust_id = CA_C_ID
+                    FROM CUSTOMER_ACCOUNT WHERE CA_ID = @acct_id
+                """,
+                "get_broker": """
+                    SELECT B_NAME FROM BROKER WHERE B_ID = @b_id
+                """,
+                "get_customer": """
+                    SELECT C_TIER FROM CUSTOMER WHERE C_ID = @cust_id
+                """,
+                "get_securities": """
+                    SELECT S_NUM_OUT FROM SECURITY WHERE S_SYMB IN @symbols
+                """,
+            },
+            body=_trade_status_body,
+            weight=PAPER_MIX["Trade-Status"],
+        ),
+        StoredProcedure(
+            "Trade-Update-Frame1",
+            params=["trade_ids", "exec_id"],
+            statements={
+                "get_trades": """
+                    SELECT T_QTY, T_PRICE FROM TRADE WHERE T_ID IN @trade_ids
+                """,
+                "update_exec": """
+                    UPDATE TRADE SET T_EXEC_ID = @exec_id
+                    WHERE T_ID IN @trade_ids
+                """,
+                "get_settlements": """
+                    SELECT SE_AMT FROM SETTLEMENT WHERE SE_T_ID IN @trade_ids
+                """,
+                "get_cash": """
+                    SELECT CT_AMT FROM CASH_TRANSACTION
+                    WHERE CT_T_ID IN @trade_ids
+                """,
+                "get_history": """
+                    SELECT TH_ST_ID FROM TRADE_HISTORY
+                    WHERE TH_T_ID IN @trade_ids
+                """,
+            },
+            body=_trade_update1_body,
+            weight=PAPER_MIX["Trade-Update-Frame1"],
+        ),
+        StoredProcedure(
+            "Trade-Update-Frame2",
+            params=["acct_id", "start_day", "end_day"],
+            statements={
+                "find_trades": """
+                    SELECT T_ID FROM TRADE
+                    WHERE T_CA_ID = @acct_id
+                      AND T_DTS BETWEEN @start_day AND @end_day
+                    LIMIT 20
+                """,
+                "update_settlements": """
+                    UPDATE SETTLEMENT SET SE_AMT = SE_AMT + 1
+                    WHERE SE_T_ID IN @found_ids
+                """,
+                "get_cash": """
+                    SELECT CT_AMT FROM CASH_TRANSACTION
+                    WHERE CT_T_ID IN @found_ids
+                """,
+                "get_history": """
+                    SELECT TH_ST_ID FROM TRADE_HISTORY
+                    WHERE TH_T_ID IN @found_ids
+                """,
+            },
+            body=_trade_update2_body,
+            weight=PAPER_MIX["Trade-Update-Frame2"],
+        ),
+        StoredProcedure(
+            "Trade-Update-Frame3",
+            params=["symbol", "start_day", "end_day"],
+            statements={
+                "find_trades": """
+                    SELECT T_ID FROM TRADE
+                    WHERE T_S_SYMB = @symbol
+                      AND T_DTS BETWEEN @start_day AND @end_day
+                    LIMIT 20
+                """,
+                "update_cash": """
+                    UPDATE CASH_TRANSACTION SET CT_AMT = CT_AMT + 1
+                    WHERE CT_T_ID IN @found_ids
+                """,
+                "get_settlements": """
+                    SELECT SE_AMT FROM SETTLEMENT WHERE SE_T_ID IN @found_ids
+                """,
+                "get_history": """
+                    SELECT TH_ST_ID FROM TRADE_HISTORY
+                    WHERE TH_T_ID IN @found_ids
+                """,
+            },
+            body=_trade_update3_body,
+            weight=PAPER_MIX["Trade-Update-Frame3"],
+        ),
+    ]
+    return ProcedureCatalog(procedures)

@@ -1,0 +1,31 @@
+"""Published TPC-E solutions (Table 4's "HC" column).
+
+The paper applied Horticulture's published design directly rather than
+re-running its search; this spec reproduces that design: per-table local
+hash attributes, with CUSTOMER_ACCOUNT and TRADE_REQUEST replicated.
+All tables absent from the spec (the read-only dimension/market tables)
+are replicated.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.tpce.procedures import PAPER_MIX
+
+__all__ = ["HORTICULTURE_SPEC", "PAPER_MIX"]
+
+HORTICULTURE_SPEC: dict[str, str | None] = {
+    "ACCOUNT_PERMISSION": "AP_CA_ID",
+    "CUSTOMER_TAXRATE": "CX_C_ID",
+    "DAILY_MARKET": "DM_DATE",
+    "WATCH_LIST": "WL_C_ID",
+    "CASH_TRANSACTION": "CT_T_ID",
+    "CUSTOMER_ACCOUNT": None,      # replicated
+    "HOLDING": "H_CA_ID",
+    "HOLDING_HISTORY": "HH_T_ID",
+    "HOLDING_SUMMARY": "HS_CA_ID",
+    "SETTLEMENT": "SE_T_ID",
+    "TRADE": "T_CA_ID",
+    "TRADE_HISTORY": "TH_T_ID",
+    "TRADE_REQUEST": None,         # replicated
+    "BROKER": "B_ID",
+}

@@ -1,0 +1,161 @@
+"""Shared fixtures: the paper's Figure-1 mini-schema and data."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.procedures import ProcedureCatalog, StoredProcedure
+from repro.schema import DatabaseSchema, integer_table
+from repro.storage import Database
+from repro.trace import TraceCollector
+
+
+def build_custinfo_schema() -> DatabaseSchema:
+    """CUSTOMER -> CUSTOMER_ACCOUNT <- {TRADE, HOLDING_SUMMARY} (Figure 1)."""
+    schema = DatabaseSchema("custinfo")
+    schema.add_table(integer_table("CUSTOMER", ["C_ID", "C_TAX_ID"], ["C_ID"]))
+    schema.add_table(
+        integer_table("CUSTOMER_ACCOUNT", ["CA_ID", "CA_C_ID"], ["CA_ID"])
+    )
+    schema.add_table(
+        integer_table("TRADE", ["T_ID", "T_CA_ID", "T_QTY"], ["T_ID"])
+    )
+    schema.add_table(
+        integer_table(
+            "HOLDING_SUMMARY",
+            ["HS_S_SYMB", "HS_CA_ID", "HS_QTY"],
+            ["HS_S_SYMB", "HS_CA_ID"],
+        )
+    )
+    schema.add_foreign_key("CUSTOMER_ACCOUNT", ["CA_C_ID"], "CUSTOMER", ["C_ID"])
+    schema.add_foreign_key("TRADE", ["T_CA_ID"], "CUSTOMER_ACCOUNT", ["CA_ID"])
+    schema.add_foreign_key(
+        "HOLDING_SUMMARY", ["HS_CA_ID"], "CUSTOMER_ACCOUNT", ["CA_ID"]
+    )
+    return schema
+
+
+def load_figure1_data(database: Database) -> None:
+    """The exact rows of the paper's Figure 1."""
+    for ca, c in [(1, 1), (7, 2), (8, 1), (10, 2)]:
+        database.insert("CUSTOMER_ACCOUNT", {"CA_ID": ca, "CA_C_ID": c})
+    for c in (1, 2):
+        database.insert("CUSTOMER", {"C_ID": c, "C_TAX_ID": 9000 + c})
+    trades = [
+        (1, 1, 2), (2, 7, 1), (3, 10, 3), (4, 8, 1),
+        (5, 8, 3), (6, 7, 4), (7, 1, 1), (8, 10, 1),
+    ]
+    for t, ca, qty in trades:
+        database.insert("TRADE", {"T_ID": t, "T_CA_ID": ca, "T_QTY": qty})
+    holdings = [
+        ("ADLAE", 1, 3), ("APCFY", 1, 5), ("AQLC", 7, 6), ("ASTT", 10, 4),
+        ("BEBE", 10, 5), ("BLS", 8, 9), ("CAV", 8, 3), ("CPN", 7, 1),
+    ]
+    for i, (_symb, ca, qty) in enumerate(holdings, 101):
+        database.insert(
+            "HOLDING_SUMMARY", {"HS_S_SYMB": i, "HS_CA_ID": ca, "HS_QTY": qty}
+        )
+
+
+def build_custinfo_procedure(with_write: bool = True) -> StoredProcedure:
+    statements = {
+        "holdings": """
+            SELECT SUM(HS_QTY)
+            FROM HOLDING_SUMMARY join CUSTOMER_ACCOUNT on HS_CA_ID = CA_ID
+            WHERE CA_C_ID = @cust_id
+        """,
+        "trades": """
+            SELECT AVERAGE(T_QTY)
+            FROM TRADE join CUSTOMER_ACCOUNT on T_CA_ID = CA_ID
+            WHERE CA_C_ID = @cust_id
+        """,
+    }
+    if with_write:
+        statements["touch"] = """
+            UPDATE TRADE SET T_QTY = T_QTY + 1 WHERE T_CA_ID = @any_account
+        """
+    return StoredProcedure(
+        "CustInfo",
+        params=["cust_id", "any_account"] if with_write else ["cust_id"],
+        statements=statements,
+    )
+
+
+@pytest.fixture
+def custinfo_schema() -> DatabaseSchema:
+    return build_custinfo_schema()
+
+
+@pytest.fixture
+def figure1_db(custinfo_schema) -> Database:
+    database = Database(custinfo_schema)
+    load_figure1_data(database)
+    return database
+
+
+@pytest.fixture
+def custinfo_procedure() -> StoredProcedure:
+    return build_custinfo_procedure()
+
+
+def generate_custinfo_workload(
+    customers: int = 40, transactions: int = 200, seed: int = 7
+):
+    """A larger CustInfo workload for pipeline tests.
+
+    Returns (database, catalog, trace).
+    """
+    rng = random.Random(seed)
+    schema = build_custinfo_schema()
+    database = Database(schema)
+    account_id = trade_id = 0
+    accounts_of: dict[int, list[int]] = {}
+    for customer in range(1, customers + 1):
+        database.insert(
+            "CUSTOMER", {"C_ID": customer, "C_TAX_ID": 9000 + customer}
+        )
+        accounts_of[customer] = []
+        for _ in range(rng.randint(1, 3)):
+            account_id += 1
+            accounts_of[customer].append(account_id)
+            database.insert(
+                "CUSTOMER_ACCOUNT", {"CA_ID": account_id, "CA_C_ID": customer}
+            )
+            for _ in range(rng.randint(1, 3)):
+                trade_id += 1
+                database.insert(
+                    "TRADE",
+                    {
+                        "T_ID": trade_id,
+                        "T_CA_ID": account_id,
+                        "T_QTY": rng.randint(1, 9),
+                    },
+                )
+            database.insert(
+                "HOLDING_SUMMARY",
+                {
+                    "HS_S_SYMB": 100 + account_id,
+                    "HS_CA_ID": account_id,
+                    "HS_QTY": rng.randint(1, 9),
+                },
+            )
+    procedure = build_custinfo_procedure()
+    catalog = ProcedureCatalog([procedure])
+    collector = TraceCollector(database)
+    for _ in range(transactions):
+        customer = rng.randint(1, customers)
+        collector.run(
+            procedure,
+            {
+                "cust_id": customer,
+                "any_account": rng.choice(accounts_of[customer]),
+            },
+        )
+    return database, catalog, collector.trace
+
+
+@pytest.fixture
+def custinfo_workload():
+    return generate_custinfo_workload()

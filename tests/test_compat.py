@@ -1,0 +1,150 @@
+"""Unit tests for the attribute-granularity lattice (Definition 12)."""
+
+import pytest
+
+from repro.core.compat import EQUAL, FIRST_COARSER, SECOND_COARSER, AttributeLattice
+from repro.schema import Attr, DatabaseSchema, integer_table
+from repro.workloads.tpce import build_tpce_schema
+
+
+@pytest.fixture
+def lattice(custinfo_schema):
+    return AttributeLattice(custinfo_schema)
+
+
+class TestCustInfoLattice:
+    def test_fk_pair_same_granularity(self, lattice):
+        # Example 8: CA_ID has the same granularity as T_CA_ID and HS_CA_ID
+        assert lattice.compare(
+            Attr("CUSTOMER_ACCOUNT", "CA_ID"), Attr("TRADE", "T_CA_ID")
+        ) == EQUAL
+        assert lattice.compare(
+            Attr("CUSTOMER_ACCOUNT", "CA_ID"),
+            Attr("HOLDING_SUMMARY", "HS_CA_ID"),
+        ) == EQUAL
+
+    def test_transitive_equivalence(self, lattice):
+        # T_CA_ID ≡ CA_ID and HS_CA_ID ≡ CA_ID imply T_CA_ID ≡ HS_CA_ID
+        assert lattice.compare(
+            Attr("TRADE", "T_CA_ID"), Attr("HOLDING_SUMMARY", "HS_CA_ID")
+        ) == EQUAL
+
+    def test_coarser_via_join_path(self, lattice):
+        # Example 8: CA_C_ID is coarser than T_ID
+        assert lattice.compare(
+            Attr("TRADE", "T_ID"), Attr("CUSTOMER_ACCOUNT", "CA_C_ID")
+        ) == SECOND_COARSER
+        assert lattice.compare(
+            Attr("CUSTOMER_ACCOUNT", "CA_C_ID"), Attr("TRADE", "T_ID")
+        ) == FIRST_COARSER
+
+    def test_incompatible(self, lattice):
+        # Example 8: T_QTY is not compatible with CA_C_ID
+        assert lattice.compare(
+            Attr("TRADE", "T_QTY"), Attr("CUSTOMER_ACCOUNT", "CA_C_ID")
+        ) is None
+        assert not lattice.compatible(
+            Attr("TRADE", "T_QTY"), Attr("CUSTOMER_ACCOUNT", "CA_C_ID")
+        )
+
+    def test_self_equal(self, lattice):
+        attr = Attr("TRADE", "T_ID")
+        assert lattice.compare(attr, attr) == EQUAL
+
+    def test_ca_c_id_equals_c_id(self, lattice):
+        assert lattice.compare(
+            Attr("CUSTOMER_ACCOUNT", "CA_C_ID"), Attr("CUSTOMER", "C_ID")
+        ) == EQUAL
+
+    def test_tax_id_coarser_than_ca_c_id(self, lattice):
+        # C_TAX_ID is reachable from C_ID's class by a PK step
+        assert lattice.compare(
+            Attr("CUSTOMER_ACCOUNT", "CA_C_ID"), Attr("CUSTOMER", "C_TAX_ID")
+        ) == SECOND_COARSER
+
+    def test_coarsest_keeps_coarser(self, lattice):
+        result = lattice.coarsest(
+            [Attr("CUSTOMER_ACCOUNT", "CA_ID"), Attr("CUSTOMER_ACCOUNT", "CA_C_ID")]
+        )
+        assert result == [Attr("CUSTOMER_ACCOUNT", "CA_C_ID")]
+
+    def test_coarsest_keeps_incompatible_attrs(self, lattice):
+        result = lattice.coarsest(
+            [Attr("TRADE", "T_QTY"), Attr("CUSTOMER_ACCOUNT", "CA_C_ID")]
+        )
+        assert len(result) == 2
+
+    def test_coarsest_dedupes_equal_class(self, lattice):
+        result = lattice.coarsest(
+            [Attr("TRADE", "T_CA_ID"), Attr("CUSTOMER_ACCOUNT", "CA_ID")]
+        )
+        assert len(result) == 1
+
+
+class TestTpceLattice:
+    @pytest.fixture(scope="class")
+    def tpce_lattice(self):
+        return AttributeLattice(build_tpce_schema())
+
+    def test_candidate_attrs_pairwise_incompatible(self, tpce_lattice):
+        # the paper's four Phase-3 candidates must be mutually incompatible
+        candidates = [
+            Attr("CUSTOMER", "C_ID"),
+            Attr("BROKER", "B_ID"),
+            Attr("TRADE", "T_S_SYMB"),
+            Attr("TRADE", "T_DTS"),
+        ]
+        for i, a in enumerate(candidates):
+            for b in candidates[i + 1:]:
+                assert tpce_lattice.compare(a, b) is None, (a, b)
+
+    def test_b_id_coarser_than_ca_id(self, tpce_lattice):
+        assert tpce_lattice.compare(
+            Attr("CUSTOMER_ACCOUNT", "CA_ID"), Attr("BROKER", "B_ID")
+        ) == SECOND_COARSER
+
+    def test_c_id_coarser_than_trade_id(self, tpce_lattice):
+        assert tpce_lattice.compare(
+            Attr("TRADE", "T_ID"), Attr("CUSTOMER", "C_ID")
+        ) == SECOND_COARSER
+
+    def test_symbol_class(self, tpce_lattice):
+        assert tpce_lattice.compare(
+            Attr("TRADE", "T_S_SYMB"), Attr("SECURITY", "S_SYMB")
+        ) == EQUAL
+
+    def test_settlement_id_equals_trade_id(self, tpce_lattice):
+        assert tpce_lattice.compare(
+            Attr("SETTLEMENT", "SE_T_ID"), Attr("TRADE", "T_ID")
+        ) == EQUAL
+
+
+class TestCompositeAndCycles:
+    def test_composite_fk_component_equivalence(self):
+        # Example 9's schema: R2.X1 and R2.X2 both reference R1.X; R3's
+        # composite (X1, X2) references R2's composite key component-wise.
+        schema = DatabaseSchema("ex9")
+        schema.add_table(integer_table("R1", ["X", "A"], ["X"]))
+        schema.add_table(integer_table("R2", ["X1", "X2", "B"], ["X1", "X2"]))
+        schema.add_table(
+            integer_table("R3", ["X1", "X2", "Y", "C"], ["X1", "X2", "Y"])
+        )
+        schema.add_foreign_key("R2", ["X1"], "R1", ["X"])
+        schema.add_foreign_key("R2", ["X2"], "R1", ["X"])
+        schema.add_foreign_key("R3", ["X1", "X2"], "R2", ["X1", "X2"])
+        lattice = AttributeLattice(schema)
+        # Example 9: R2.X1 ≡ R3.X1
+        assert lattice.compare(Attr("R2", "X1"), Attr("R3", "X1")) == EQUAL
+        # and both X1, X2 collapse into R1.X's class
+        assert lattice.compare(Attr("R2", "X1"), Attr("R1", "X")) == EQUAL
+        assert lattice.compare(Attr("R2", "X2"), Attr("R1", "X")) == EQUAL
+
+    def test_fk_cycle_treated_as_equal(self):
+        schema = DatabaseSchema("cycle")
+        schema.add_table(integer_table("P", ["P_ID", "P_Q_ID"], ["P_ID"]))
+        schema.add_table(integer_table("Q", ["Q_ID", "Q_P_ID"], ["Q_ID"]))
+        schema.add_foreign_key("P", ["P_Q_ID"], "Q", ["Q_ID"])
+        schema.add_foreign_key("Q", ["Q_P_ID"], "P", ["P_ID"])
+        lattice = AttributeLattice(schema)
+        # mutual reachability collapses to EQUAL rather than a contradiction
+        assert lattice.compare(Attr("P", "P_ID"), Attr("Q", "Q_ID")) == EQUAL

@@ -1,0 +1,73 @@
+"""Unit tests for the Figure-4 evaluation framework."""
+
+import pytest
+
+from repro.baselines import HorticultureConfig, SchismConfig
+from repro.core import JECBConfig
+from repro.evaluation.framework import ExperimentRun, PartitioningExperiment
+from repro.workloads.tatp import TatpBenchmark, TatpConfig
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    bundle = TatpBenchmark(TatpConfig(subscribers=150)).generate(500, seed=77)
+    return PartitioningExperiment(bundle)
+
+
+class TestPartitioningExperiment:
+    def test_split_created(self, experiment):
+        total = len(experiment.training_trace) + len(experiment.testing_trace)
+        assert total == len(experiment.bundle.trace)
+
+    def test_custom_split_fraction(self):
+        bundle = TatpBenchmark(TatpConfig(subscribers=50)).generate(
+            200, seed=77
+        )
+        experiment = PartitioningExperiment(bundle, train_fraction=0.25)
+        assert len(experiment.training_trace) == 50
+
+    def test_run_jecb(self, experiment):
+        run = experiment.run_jecb(JECBConfig(num_partitions=4))
+        assert isinstance(run, ExperimentRun)
+        assert run.name == "jecb"
+        assert 0.0 <= run.cost <= 1.0
+
+    def test_run_schism_label(self, experiment):
+        run = experiment.run_schism(
+            SchismConfig(num_partitions=4), coverage=0.25
+        )
+        assert run.name == "schism-25%"
+
+    def test_run_horticulture(self, experiment):
+        run = experiment.run_horticulture(
+            HorticultureConfig(num_partitions=4, iterations=5)
+        )
+        assert run.name == "horticulture"
+        assert run.partitioning is not None
+
+    def test_run_fixed_uses_partitioning_name(self, experiment):
+        from repro.baselines.published import build_spec_partitioning
+
+        fixed = build_spec_partitioning(
+            experiment.bundle.database.schema,
+            4,
+            {"SUBSCRIBER": "S_ID"},
+            name="manual",
+        )
+        run = experiment.run_fixed(fixed)
+        assert run.name == "manual"
+
+    def test_runs_accumulate_and_summarize(self, experiment):
+        count_before = len(experiment.runs)
+        experiment.run_jecb(JECBConfig(num_partitions=2), name="again")
+        assert len(experiment.runs) == count_before + 1
+        summary = experiment.summary()
+        assert "again" in summary
+        assert "%" in summary
+
+    def test_metered_run_in_summary(self, experiment):
+        run = experiment.run_jecb(
+            JECBConfig(num_partitions=2), name="metered", meter=True
+        )
+        assert run.resources is not None
+        assert "MB" in experiment.summary()

@@ -1,0 +1,180 @@
+"""Unit tests for join paths: Definition 2 validation and Definition 13
+compatibility, including the paper's Example 9 verbatim."""
+
+import pytest
+
+from repro.core.compat import AttributeLattice
+from repro.core.join_path import JoinPath, paths_compatible
+from repro.errors import JoinPathError
+from repro.schema import Attr, DatabaseSchema, integer_table
+
+
+@pytest.fixture
+def schema(custinfo_schema):
+    return custinfo_schema
+
+
+def path(schema, *nodes):
+    return JoinPath.parse(schema, list(nodes))
+
+
+class TestValidation:
+    def test_example2_trade_path(self, schema):
+        # {T_ID, T_CA_ID, CA_ID, CA_C_ID}
+        p = path(
+            schema, "TRADE.T_ID", "TRADE.T_CA_ID",
+            "CUSTOMER_ACCOUNT.CA_ID", "CUSTOMER_ACCOUNT.CA_C_ID",
+        )
+        assert p.source_table == "TRADE"
+        assert p.destination == Attr("CUSTOMER_ACCOUNT", "CA_C_ID")
+        assert p.tables == ["TRADE", "CUSTOMER_ACCOUNT"]
+        assert len(p) == 4
+
+    def test_example2_holding_summary_path(self, schema):
+        # {{HS_S_SYMB, HS_CA_ID}, HS_CA_ID, CA_ID, CA_C_ID}
+        p = JoinPath.parse(
+            schema,
+            [
+                ["HOLDING_SUMMARY.HS_S_SYMB", "HOLDING_SUMMARY.HS_CA_ID"],
+                "HOLDING_SUMMARY.HS_CA_ID",
+                "CUSTOMER_ACCOUNT.CA_ID",
+                "CUSTOMER_ACCOUNT.CA_C_ID",
+            ],
+        )
+        assert p.source_table == "HOLDING_SUMMARY"
+        assert len(p.source) == 2
+
+    def test_single_node_path(self, schema):
+        p = path(schema, "CUSTOMER_ACCOUNT.CA_ID")
+        assert p.source == frozenset({Attr("CUSTOMER_ACCOUNT", "CA_ID")})
+        assert p.destination == Attr("CUSTOMER_ACCOUNT", "CA_ID")
+
+    def test_intra_step_requires_primary_key(self, schema):
+        # T_QTY -> T_CA_ID: source is not TRADE's primary key
+        with pytest.raises(JoinPathError):
+            path(schema, "TRADE.T_QTY", "TRADE.T_CA_ID")
+
+    def test_cross_step_requires_foreign_key(self, schema):
+        with pytest.raises(JoinPathError):
+            path(schema, "TRADE.T_ID", "CUSTOMER_ACCOUNT.CA_ID")
+
+    def test_fk_must_land_on_referenced_attrs(self, schema):
+        with pytest.raises(JoinPathError):
+            path(schema, "TRADE.T_CA_ID", "CUSTOMER_ACCOUNT.CA_C_ID")
+
+    def test_destination_must_be_single(self, schema):
+        with pytest.raises(JoinPathError):
+            JoinPath.parse(
+                schema,
+                [
+                    "TRADE.T_ID",
+                    ["TRADE.T_CA_ID", "TRADE.T_QTY"],
+                ],
+            )
+
+    def test_node_spanning_tables_rejected(self, schema):
+        with pytest.raises(JoinPathError):
+            JoinPath.parse(
+                schema, [["TRADE.T_ID", "CUSTOMER_ACCOUNT.CA_ID"]]
+            )
+
+    def test_empty_path_rejected(self, schema):
+        with pytest.raises(JoinPathError):
+            JoinPath.parse(schema, [])
+
+    def test_equality_and_hash(self, schema):
+        a = path(schema, "TRADE.T_ID", "TRADE.T_CA_ID", "CUSTOMER_ACCOUNT.CA_ID")
+        b = path(schema, "TRADE.T_ID", "TRADE.T_CA_ID", "CUSTOMER_ACCOUNT.CA_ID")
+        assert a == b and hash(a) == hash(b)
+
+    def test_str_rendering(self, schema):
+        p = path(schema, "TRADE.T_ID", "TRADE.T_CA_ID")
+        assert str(p) == "TRADE.T_ID -> TRADE.T_CA_ID"
+
+
+class TestStructure:
+    def test_prefix(self, schema):
+        short = path(schema, "TRADE.T_ID", "TRADE.T_CA_ID")
+        long = path(
+            schema, "TRADE.T_ID", "TRADE.T_CA_ID", "CUSTOMER_ACCOUNT.CA_ID"
+        )
+        assert short.is_prefix_of(long)
+        assert not long.is_prefix_of(short)
+        assert short.is_prefix_of(short)
+
+    def test_concat(self, schema):
+        first = path(schema, "TRADE.T_ID", "TRADE.T_CA_ID")
+        second = path(schema, "TRADE.T_CA_ID", "CUSTOMER_ACCOUNT.CA_ID")
+        joined = first.concat(second)
+        assert len(joined) == 3
+        assert joined.destination == Attr("CUSTOMER_ACCOUNT", "CA_ID")
+
+    def test_concat_mismatch_rejected(self, schema):
+        first = path(schema, "TRADE.T_ID", "TRADE.T_CA_ID")
+        bad = path(schema, "CUSTOMER_ACCOUNT.CA_ID", "CUSTOMER_ACCOUNT.CA_C_ID")
+        with pytest.raises(JoinPathError):
+            first.concat(bad)
+
+
+class TestExample9Compatibility:
+    """The paper's Example 9, all five paths, verbatim."""
+
+    @pytest.fixture(scope="class")
+    def ex9(self):
+        schema = DatabaseSchema("ex9")
+        schema.add_table(integer_table("R1", ["X", "A"], ["X"]))
+        schema.add_table(integer_table("R2", ["X1", "X2", "B"], ["X1", "X2"]))
+        schema.add_table(
+            integer_table("R3", ["X1", "X2", "Y", "C"], ["X1", "X2", "Y"])
+        )
+        schema.add_foreign_key("R2", ["X1"], "R1", ["X"])
+        schema.add_foreign_key("R2", ["X2"], "R1", ["X"])
+        schema.add_foreign_key("R3", ["X1", "X2"], "R2", ["X1", "X2"])
+        lattice = AttributeLattice(schema)
+
+        r3_key = ["R3.X1", "R3.X2", "R3.Y"]
+        r3_fk = ["R3.X1", "R3.X2"]
+        r2_key = ["R2.X1", "R2.X2"]
+        paths = {
+            "p1": JoinPath.parse(
+                schema, [r3_key, r3_fk, r2_key, "R2.X1", "R1.X", "R1.A"]
+            ),
+            "p2": JoinPath.parse(
+                schema, [r3_key, r3_fk, r2_key, "R2.X2", "R1.X", "R1.A"]
+            ),
+            "p3": JoinPath.parse(schema, [r3_key, r3_fk, r2_key, "R2.X1"]),
+            "p4": JoinPath.parse(schema, [r3_key, "R3.X1"]),
+            "p5": JoinPath.parse(schema, [r3_key, "R3.X2"]),
+        }
+        return paths, lattice.compare
+
+    def test_p1_incompatible_with_p2(self, ex9):
+        paths, compare = ex9
+        assert paths_compatible(paths["p1"], paths["p2"], compare) is None
+
+    def test_p1_coarser_than_p3(self, ex9):
+        paths, compare = ex9
+        # p1 > p3 via condition 1 (p3 is a prefix of p1)
+        assert paths_compatible(paths["p1"], paths["p3"], compare) == "first_coarser"
+        assert paths_compatible(paths["p3"], paths["p1"], compare) == "second_coarser"
+
+    def test_p4_equivalent_to_p3(self, ex9):
+        paths, compare = ex9
+        # p4 ≡ p3 via condition 2 with R2.X1 ≡ R3.X1
+        assert paths_compatible(paths["p4"], paths["p3"], compare) == "equal"
+
+    def test_p5_incompatible_with_others(self, ex9):
+        paths, compare = ex9
+        for other in ("p1", "p3", "p4"):
+            assert paths_compatible(paths["p5"], paths[other], compare) is None
+
+    def test_identical_paths_equal(self, ex9):
+        paths, compare = ex9
+        assert paths_compatible(paths["p1"], paths["p1"], compare) == "equal"
+
+    def test_different_sources_incompatible(self, schema, ex9):
+        _paths, compare = ex9
+        a = path(schema, "TRADE.T_ID", "TRADE.T_CA_ID")
+        b = path(schema, "CUSTOMER_ACCOUNT.CA_ID", "CUSTOMER_ACCOUNT.CA_C_ID")
+        lattice = AttributeLattice(schema)
+        assert paths_compatible(a, b, lattice.compare) is None

@@ -1,0 +1,123 @@
+"""Unit tests for mapping functions."""
+
+import pytest
+
+from repro.core.mapping import (
+    REPLICATED,
+    HashMapping,
+    IdentityModMapping,
+    LookupMapping,
+    MappingFunction,
+    RangeMapping,
+    ReplicateMapping,
+    stable_hash,
+)
+from repro.errors import PartitioningError
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash(42) == stable_hash(42)
+        assert stable_hash("abc") == stable_hash("abc")
+        assert stable_hash((1, "a")) == stable_hash((1, "a"))
+
+    def test_spreads_consecutive_ints(self):
+        buckets = {stable_hash(i) % 8 for i in range(32)}
+        assert len(buckets) >= 4
+
+    def test_none_and_bool(self):
+        assert stable_hash(None) == 0
+        assert stable_hash(True) == stable_hash(1)
+
+    def test_float(self):
+        assert stable_hash(2.5) == stable_hash(2.5)
+
+    def test_unhashable_rejected(self):
+        with pytest.raises(PartitioningError):
+            stable_hash(object())
+
+
+class TestHashMapping:
+    def test_range_of_outputs(self):
+        mapping = HashMapping(4)
+        outputs = {mapping(i) for i in range(100)}
+        assert outputs <= {1, 2, 3, 4}
+        assert len(outputs) == 4
+
+    def test_none_is_replicated(self):
+        assert HashMapping(4)(None) == REPLICATED
+
+    def test_needs_positive_k(self):
+        with pytest.raises(PartitioningError):
+            HashMapping(0)
+
+
+class TestIdentityModMapping:
+    def test_integer_identity(self):
+        mapping = IdentityModMapping(4)
+        assert mapping(0) == 1
+        assert mapping(5) == 2
+
+    def test_non_integer_falls_back(self):
+        mapping = IdentityModMapping(4)
+        assert 1 <= mapping("abc") <= 4
+
+
+class TestRangeMapping:
+    def test_boundaries(self):
+        mapping = RangeMapping(3, [10, 20])
+        assert mapping(5) == 1
+        assert mapping(10) == 1
+        assert mapping(11) == 2
+        assert mapping(25) == 3
+
+    def test_wrong_boundary_count(self):
+        with pytest.raises(PartitioningError):
+            RangeMapping(3, [10])
+
+    def test_unsorted_boundaries(self):
+        with pytest.raises(PartitioningError):
+            RangeMapping(3, [20, 10])
+
+    def test_from_values_balances(self):
+        mapping = RangeMapping.from_values(4, range(100))
+        counts = [0] * 5
+        for value in range(100):
+            counts[mapping(value)] += 1
+        assert max(counts[1:]) <= 2 * min(counts[1:])
+
+    def test_from_values_empty(self):
+        mapping = RangeMapping.from_values(2, [])
+        assert mapping(5) == 1
+
+    def test_none_is_replicated(self):
+        assert RangeMapping(2, [5])(None) == REPLICATED
+
+
+class TestLookupMapping:
+    def test_table_hit_and_fallback(self):
+        mapping = LookupMapping(4, {"a": 2}, fallback=HashMapping(4))
+        assert mapping("a") == 2
+        assert 1 <= mapping("unseen") <= 4
+
+    def test_explicit_replication_entry(self):
+        mapping = LookupMapping(4, {"a": REPLICATED})
+        assert mapping("a") == REPLICATED
+
+    def test_out_of_range_entry_rejected(self):
+        with pytest.raises(PartitioningError):
+            LookupMapping(4, {"a": 9})
+
+    def test_none_is_replicated(self):
+        assert LookupMapping(4, {})(None) == REPLICATED
+
+
+class TestReplicateMapping:
+    def test_everything_replicated(self):
+        mapping = ReplicateMapping(4)
+        assert mapping(1) == REPLICATED
+        assert mapping("x") == REPLICATED
+
+    def test_base_class_abstract(self):
+        with pytest.raises(NotImplementedError):
+            MappingFunction(2)(1)

@@ -1,0 +1,141 @@
+"""Unit tests for the multilevel min-cut graph partitioner."""
+
+import random
+
+import pytest
+
+from repro.errors import PartitioningError
+from repro.graphs.mincut import Graph, build_coaccess_graph, partition_graph
+
+
+def clustered_graph(clusters=8, size=20, seed=3, bridge_weight=0.5):
+    """Dense intra-cluster cliques with weak inter-cluster bridges."""
+    rng = random.Random(seed)
+    graph = Graph()
+    for cluster in range(clusters):
+        members = [(cluster, i) for i in range(size)]
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                if rng.random() < 0.5:
+                    graph.add_edge(u, v, 1.0)
+    for cluster in range(clusters - 1):
+        graph.add_edge((cluster, 0), (cluster + 1, 0), bridge_weight)
+    return graph
+
+
+class TestGraph:
+    def test_add_edge_symmetric_accumulates(self):
+        graph = Graph()
+        graph.add_edge("a", "b", 1.0)
+        graph.add_edge("b", "a", 2.0)
+        assert graph.adj["a"]["b"] == 3.0
+        assert graph.adj["b"]["a"] == 3.0
+
+    def test_self_loop_ignored(self):
+        graph = Graph()
+        graph.add_edge("a", "a", 1.0)
+        assert "a" not in graph.adj or not graph.adj.get("a")
+
+    def test_vertex_weights(self):
+        graph = Graph()
+        graph.add_node("a", 2.0)
+        graph.add_node("b")
+        assert graph.total_vertex_weight() == 3.0
+
+    def test_cut_weight(self):
+        graph = Graph()
+        graph.add_edge("a", "b", 1.0)
+        graph.add_edge("b", "c", 2.0)
+        assignment = {"a": 0, "b": 0, "c": 1}
+        assert graph.cut_weight(assignment) == 2.0
+
+
+class TestPartitionGraph:
+    def test_every_node_assigned(self):
+        graph = clustered_graph()
+        assignment = partition_graph(graph, 4)
+        assert set(assignment) == set(graph.nodes)
+        assert set(assignment.values()) <= set(range(4))
+
+    def test_balance(self):
+        graph = clustered_graph()
+        assignment = partition_graph(graph, 4, balance=1.2)
+        loads = [0.0] * 4
+        for node, part in assignment.items():
+            loads[part] += graph.vertex_weight[node]
+        average = sum(loads) / 4
+        assert max(loads) <= average * 1.5  # generous slack for integrality
+
+    def test_finds_cluster_structure(self):
+        graph = clustered_graph(clusters=4, size=25)
+        assignment = partition_graph(graph, 4)
+        # most clusters should land (mostly) in a single partition
+        pure = 0
+        for cluster in range(4):
+            counts: dict[int, int] = {}
+            for i in range(25):
+                part = assignment[(cluster, i)]
+                counts[part] = counts.get(part, 0) + 1
+            if max(counts.values()) >= 20:
+                pure += 1
+        assert pure >= 3
+
+    def test_deterministic(self):
+        graph = clustered_graph()
+        a = partition_graph(graph, 4, seed=5)
+        b = partition_graph(graph, 4, seed=5)
+        assert a == b
+
+    def test_k_one(self):
+        graph = clustered_graph(clusters=2, size=5)
+        assignment = partition_graph(graph, 1)
+        assert set(assignment.values()) == {0}
+
+    def test_tiny_graph(self):
+        graph = Graph()
+        graph.add_edge("a", "b")
+        assignment = partition_graph(graph, 4)
+        assert set(assignment) == {"a", "b"}
+
+    def test_invalid_k(self):
+        with pytest.raises(PartitioningError):
+            partition_graph(Graph(), 0)
+
+    def test_empty_graph(self):
+        assert partition_graph(Graph(), 4) == {}
+
+    def test_disconnected_components_zero_cut(self):
+        graph = Graph()
+        for component in range(4):
+            for i in range(10):
+                graph.add_edge((component, i), (component, (i + 1) % 10), 5.0)
+        assignment = partition_graph(graph, 4)
+        assert graph.cut_weight(assignment) == 0.0
+
+
+class TestCoaccessGraph:
+    def test_small_groups_form_cliques(self):
+        graph = build_coaccess_graph([["a", "b", "c"]])
+        assert graph.adj["a"]["b"] == 1.0
+        assert graph.adj["a"]["c"] == 1.0
+        assert graph.adj["b"]["c"] == 1.0
+
+    def test_repeats_accumulate(self):
+        graph = build_coaccess_graph([["a", "b"], ["a", "b"]])
+        assert graph.adj["a"]["b"] == 2.0
+
+    def test_singletons_become_isolated_nodes(self):
+        graph = build_coaccess_graph([["a"]])
+        assert "a" in graph.adj
+        assert graph.adj["a"] == {}
+
+    def test_large_groups_compressed_to_stars(self):
+        members = [f"n{i}" for i in range(30)]
+        graph = build_coaccess_graph([members])
+        hub = members[0]
+        assert len(graph.adj[hub]) == 29
+        assert len(graph.adj[members[5]]) == 1
+
+    def test_duplicate_members_deduped(self):
+        graph = build_coaccess_graph([["a", "a", "b"]])
+        assert graph.adj["a"]["b"] == 1.0

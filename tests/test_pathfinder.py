@@ -1,0 +1,159 @@
+"""Unit tests for join-path search."""
+
+import pytest
+
+from repro.core.pathfinder import enumerate_paths, reachable_attrs, shortest_path
+from repro.schema import Attr
+from repro.workloads.tpce import build_tpce_schema
+
+
+@pytest.fixture(scope="module")
+def tpce_schema():
+    return build_tpce_schema()
+
+
+def pk(schema, table):
+    return frozenset(schema.primary_key_attrs(table))
+
+
+class TestEnumeratePaths:
+    def test_trade_to_ca_c_id(self, custinfo_schema):
+        paths = enumerate_paths(
+            custinfo_schema,
+            pk(custinfo_schema, "TRADE"),
+            Attr("CUSTOMER_ACCOUNT", "CA_C_ID"),
+        )
+        assert len(paths) == 1
+        assert str(paths[0]) == (
+            "TRADE.T_ID -> TRADE.T_CA_ID -> CUSTOMER_ACCOUNT.CA_ID "
+            "-> CUSTOMER_ACCOUNT.CA_C_ID"
+        )
+
+    def test_composite_source(self, custinfo_schema):
+        paths = enumerate_paths(
+            custinfo_schema,
+            pk(custinfo_schema, "HOLDING_SUMMARY"),
+            Attr("CUSTOMER_ACCOUNT", "CA_C_ID"),
+        )
+        assert len(paths) == 1
+        assert paths[0].tables == ["HOLDING_SUMMARY", "CUSTOMER_ACCOUNT"]
+
+    def test_no_path(self, custinfo_schema):
+        paths = enumerate_paths(
+            custinfo_schema,
+            pk(custinfo_schema, "CUSTOMER"),
+            Attr("TRADE", "T_QTY"),
+        )
+        assert paths == []
+
+    def test_multiple_paths_tpce(self, tpce_schema):
+        # TRADE_REQUEST reaches B_ID directly (TR_B_ID) and through the
+        # trade -> account chain.
+        paths = enumerate_paths(
+            tpce_schema, pk(tpce_schema, "TRADE_REQUEST"), Attr("BROKER", "B_ID")
+        )
+        assert len(paths) >= 2
+        lengths = sorted(len(p) for p in paths)
+        assert lengths[0] == 3  # TR_T_ID -> TR_B_ID -> B_ID is shortest
+
+    def test_attr_pool_restricts_destinations(self, custinfo_schema):
+        # C_TAX_ID is not a key column anywhere, so without it in the pool
+        # no path may end there. (FK columns like CA_C_ID stay traversable
+        # regardless of the pool — they are part of the join structure.)
+        pool = frozenset({Attr("TRADE", "T_CA_ID")})
+        paths = enumerate_paths(
+            custinfo_schema,
+            pk(custinfo_schema, "TRADE"),
+            Attr("CUSTOMER", "C_TAX_ID"),
+            attr_pool=pool,
+        )
+        assert paths == []
+        # with C_TAX_ID in the pool the path exists
+        pool = pool | {Attr("CUSTOMER", "C_TAX_ID")}
+        paths = enumerate_paths(
+            custinfo_schema,
+            pk(custinfo_schema, "TRADE"),
+            Attr("CUSTOMER", "C_TAX_ID"),
+            attr_pool=pool,
+        )
+        assert len(paths) == 1
+
+    def test_max_paths_cap(self, tpce_schema):
+        paths = enumerate_paths(
+            tpce_schema,
+            pk(tpce_schema, "HOLDING_HISTORY"),
+            Attr("CUSTOMER", "C_ID"),
+            max_paths=1,
+        )
+        assert len(paths) == 1
+
+    def test_paths_are_simple(self, tpce_schema):
+        paths = enumerate_paths(
+            tpce_schema, pk(tpce_schema, "HOLDING"), Attr("CUSTOMER", "C_ID")
+        )
+        for path in paths:
+            assert len(set(path.nodes)) == len(path.nodes)
+
+
+class TestShortestPath:
+    def test_trivial(self, custinfo_schema):
+        source = frozenset({Attr("CUSTOMER_ACCOUNT", "CA_ID")})
+        found = shortest_path(
+            custinfo_schema, source, Attr("CUSTOMER_ACCOUNT", "CA_ID")
+        )
+        assert found is not None and len(found) == 1
+
+    def test_extension_path(self, custinfo_schema):
+        source = frozenset({Attr("CUSTOMER_ACCOUNT", "CA_ID")})
+        found = shortest_path(
+            custinfo_schema, source, Attr("CUSTOMER_ACCOUNT", "CA_C_ID")
+        )
+        assert found is not None and len(found) == 2
+
+    def test_returns_shortest(self, tpce_schema):
+        found = shortest_path(
+            tpce_schema, pk(tpce_schema, "TRADE_REQUEST"), Attr("BROKER", "B_ID")
+        )
+        assert found is not None and len(found) == 3
+
+    def test_unreachable(self, custinfo_schema):
+        found = shortest_path(
+            custinfo_schema,
+            pk(custinfo_schema, "CUSTOMER"),
+            Attr("TRADE", "T_ID"),
+        )
+        assert found is None
+
+    def test_goal_test_override(self, custinfo_schema):
+        # reach anything in CUSTOMER (class-style goal)
+        found = shortest_path(
+            custinfo_schema,
+            pk(custinfo_schema, "TRADE"),
+            Attr("CUSTOMER", "C_ID"),
+            goal_test=lambda node: any(a.table == "CUSTOMER" for a in node),
+        )
+        assert found is not None
+        assert found.destination.table == "CUSTOMER"
+
+
+class TestReachableAttrs:
+    def test_from_trade(self, custinfo_schema):
+        reached = reachable_attrs(
+            custinfo_schema, pk(custinfo_schema, "TRADE")
+        )
+        assert Attr("CUSTOMER_ACCOUNT", "CA_C_ID") in reached
+        assert Attr("CUSTOMER", "C_TAX_ID") in reached
+        assert Attr("HOLDING_SUMMARY", "HS_QTY") not in reached
+
+    def test_source_included_when_single(self, custinfo_schema):
+        source = frozenset({Attr("TRADE", "T_ID")})
+        reached = reachable_attrs(custinfo_schema, source)
+        assert Attr("TRADE", "T_ID") in reached
+
+    def test_fk_filter(self, custinfo_schema):
+        reached = reachable_attrs(
+            custinfo_schema,
+            pk(custinfo_schema, "TRADE"),
+            fk_allowed=lambda fk: False,
+        )
+        assert Attr("CUSTOMER_ACCOUNT", "CA_C_ID") not in reached

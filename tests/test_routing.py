@@ -1,0 +1,125 @@
+"""Unit tests for the runtime router and lookup tables."""
+
+import pytest
+
+from repro.core import JECBConfig, JECBPartitioner
+from repro.core.join_path import JoinPath
+from repro.core.mapping import IdentityModMapping
+from repro.core.solution import DatabasePartitioning, TableSolution
+from repro.routing import LookupTable, Router
+from repro.schema import Attr
+
+
+@pytest.fixture
+def customer_partitioning(custinfo_schema):
+    mapping = IdentityModMapping(2)
+    partitioning = DatabasePartitioning(2, name="by-customer")
+    partitioning.set(
+        TableSolution(
+            "TRADE",
+            JoinPath.parse(
+                custinfo_schema,
+                [
+                    "TRADE.T_ID", "TRADE.T_CA_ID",
+                    "CUSTOMER_ACCOUNT.CA_ID", "CUSTOMER_ACCOUNT.CA_C_ID",
+                ],
+            ),
+            mapping,
+        )
+    )
+    partitioning.set(
+        TableSolution(
+            "CUSTOMER_ACCOUNT",
+            JoinPath.parse(
+                custinfo_schema,
+                ["CUSTOMER_ACCOUNT.CA_ID", "CUSTOMER_ACCOUNT.CA_C_ID"],
+            ),
+            mapping,
+        )
+    )
+    partitioning.set(TableSolution("HOLDING_SUMMARY"))
+    partitioning.set(TableSolution("CUSTOMER"))
+    return partitioning
+
+
+class TestLookupTable:
+    def test_build_and_query(self, figure1_db, customer_partitioning):
+        lookup = LookupTable.build(
+            Attr("CUSTOMER_ACCOUNT", "CA_C_ID"),
+            figure1_db,
+            customer_partitioning,
+        )
+        # customer 1 -> partition 1 + 1 % 2 = 2; customer 2 -> 1
+        assert lookup.partitions_for(1) == {2}
+        assert lookup.partitions_for(2) == {1}
+        assert lookup.partitions_for(99) is None
+        assert len(lookup) == 2
+
+    def test_replicated_table_contributes_no_constraint(
+        self, figure1_db, customer_partitioning
+    ):
+        lookup = LookupTable.build(
+            Attr("HOLDING_SUMMARY", "HS_CA_ID"),
+            figure1_db,
+            customer_partitioning,
+        )
+        assert lookup.partitions_for(1) == set()
+
+    def test_fk_column_routes_like_target(
+        self, figure1_db, customer_partitioning
+    ):
+        lookup = LookupTable.build(
+            Attr("TRADE", "T_CA_ID"), figure1_db, customer_partitioning
+        )
+        # trades of account 1 belong to customer 1 -> partition 2
+        assert lookup.partitions_for(1) == {2}
+
+
+class TestRouter:
+    @pytest.fixture
+    def router(self, figure1_db, custinfo_procedure, customer_partitioning):
+        from repro.procedures import ProcedureCatalog
+
+        catalog = ProcedureCatalog([custinfo_procedure])
+        return Router(figure1_db, catalog, customer_partitioning)
+
+    def test_routes_by_customer_id(self, router):
+        decision = router.route("CustInfo", {"cust_id": 1})
+        assert decision.single_partition
+        assert decision.partitions == frozenset({2})
+        assert decision.routing_attribute is not None
+
+    def test_routes_other_customer(self, router):
+        decision = router.route("CustInfo", {"cust_id": 2})
+        assert decision.partitions == frozenset({1})
+
+    def test_unknown_value_broadcasts(self, router):
+        decision = router.route("CustInfo", {"cust_id": 999})
+        assert decision.broadcast
+        assert decision.partitions == frozenset({1, 2})
+
+    def test_no_arguments_broadcasts(self, router):
+        decision = router.route("CustInfo", {})
+        assert decision.broadcast
+
+    def test_unknown_procedure_broadcasts(self, router):
+        decision = router.route("Nope", {"x": 1})
+        assert decision.broadcast
+
+    def test_list_valued_argument(self, router):
+        decision = router.route("CustInfo", {"cust_id": [1, 2]})
+        assert not decision.broadcast
+        assert decision.partitions == frozenset({1, 2})
+        assert not decision.single_partition
+
+    def test_end_to_end_with_jecb(self, custinfo_workload):
+        database, catalog, trace = custinfo_workload
+        result = JECBPartitioner(
+            database, catalog, JECBConfig(num_partitions=4)
+        ).run(trace)
+        router = Router(database, catalog, result.partitioning)
+        routed_single = 0
+        for customer in range(1, 11):
+            decision = router.route("CustInfo", {"cust_id": customer})
+            routed_single += decision.single_partition
+        assert routed_single == 10

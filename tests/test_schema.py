@@ -1,0 +1,232 @@
+"""Unit tests for the schema model."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import (
+    Attr,
+    Column,
+    DatabaseSchema,
+    DataType,
+    TableSchema,
+    attr_set,
+    integer_table,
+)
+
+
+class TestDataType:
+    def test_integer_accepts_int(self):
+        assert DataType.INTEGER.validate(5)
+
+    def test_integer_rejects_bool(self):
+        assert not DataType.INTEGER.validate(True)
+
+    def test_integer_rejects_string(self):
+        assert not DataType.INTEGER.validate("5")
+
+    def test_float_accepts_int_and_float(self):
+        assert DataType.FLOAT.validate(5)
+        assert DataType.FLOAT.validate(5.5)
+
+    def test_text_accepts_string(self):
+        assert DataType.TEXT.validate("abc")
+        assert not DataType.TEXT.validate(1)
+
+    def test_boolean(self):
+        assert DataType.BOOLEAN.validate(False)
+        assert not DataType.BOOLEAN.validate(0)
+
+    def test_none_always_valid_at_type_level(self):
+        for data_type in DataType:
+            assert data_type.validate(None)
+
+
+class TestColumn:
+    def test_str(self):
+        assert str(Column("C_ID")) == "C_ID"
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("")
+        with pytest.raises(SchemaError):
+            Column("bad name")
+
+    def test_nullability(self):
+        assert not Column("A").validate(None)
+        assert Column("A", nullable=True).validate(None)
+
+    def test_type_checked(self):
+        assert Column("A", DataType.TEXT).validate("x")
+        assert not Column("A", DataType.TEXT).validate(3)
+
+
+class TestAttr:
+    def test_parse_roundtrip(self):
+        attr = Attr.parse("TRADE.T_ID")
+        assert attr == Attr("TRADE", "T_ID")
+        assert str(attr) == "TRADE.T_ID"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            Attr.parse("TRADE")
+        with pytest.raises(SchemaError):
+            Attr.parse("A.B.C")
+        with pytest.raises(SchemaError):
+            Attr.parse(".X")
+
+    def test_ordering_and_hash(self):
+        a = Attr("A", "X")
+        b = Attr("B", "X")
+        assert a < b
+        assert len({a, b, Attr("A", "X")}) == 2
+
+    def test_attr_set(self):
+        made = attr_set("T", ("A", "B"))
+        assert made == frozenset({Attr("T", "A"), Attr("T", "B")})
+
+
+class TestTableSchema:
+    def test_basic_construction(self):
+        table = integer_table("T", ["A", "B"], ["A"])
+        assert table.column_names == ("A", "B")
+        assert table.primary_key == ("A",)
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("T", [Column("A"), Column("A")], ["A"])
+
+    def test_missing_pk_column_rejected(self):
+        with pytest.raises(SchemaError):
+            integer_table("T", ["A"], ["B"])
+
+    def test_empty_pk_rejected(self):
+        with pytest.raises(SchemaError):
+            integer_table("T", ["A"], [])
+
+    def test_column_lookup(self):
+        table = integer_table("T", ["A", "B"], ["A"])
+        assert table.column("B").name == "B"
+        assert table.column_index("B") == 1
+        with pytest.raises(SchemaError):
+            table.column("Z")
+        with pytest.raises(SchemaError):
+            table.column_index("Z")
+
+    def test_is_primary_key_order_insensitive(self):
+        table = integer_table("T", ["A", "B", "C"], ["A", "B"])
+        assert table.is_primary_key(["B", "A"])
+        assert not table.is_primary_key(["A"])
+
+    def test_foreign_key_arity_checked(self):
+        table = integer_table("T", ["A", "B"], ["A"])
+        with pytest.raises(SchemaError):
+            table.add_foreign_key(["A", "B"], "U", ["X"])
+
+    def test_foreign_key_unknown_column_rejected(self):
+        table = integer_table("T", ["A"], ["A"])
+        with pytest.raises(SchemaError):
+            table.add_foreign_key(["Z"], "U", ["X"])
+
+    def test_validate_row(self):
+        table = integer_table("T", ["A", "B"], ["A"])
+        table.validate_row({"A": 1, "B": 2})
+        with pytest.raises(SchemaError):
+            table.validate_row({"A": 1})
+        with pytest.raises(SchemaError):
+            table.validate_row({"A": 1, "B": "nope"})
+
+
+class TestDatabaseSchema:
+    def make(self) -> DatabaseSchema:
+        schema = DatabaseSchema("test")
+        schema.add_table(integer_table("A", ["A_ID", "A_VAL"], ["A_ID"]))
+        schema.add_table(integer_table("B", ["B_ID", "B_A_ID"], ["B_ID"]))
+        schema.add_foreign_key("B", ["B_A_ID"], "A", ["A_ID"])
+        return schema
+
+    def test_duplicate_table_rejected(self):
+        schema = self.make()
+        with pytest.raises(SchemaError):
+            schema.add_table(integer_table("A", ["X"], ["X"]))
+
+    def test_table_access(self):
+        schema = self.make()
+        assert schema.table("A").name == "A"
+        assert "B" in schema
+        assert schema.table_names == ("A", "B")
+        with pytest.raises(SchemaError):
+            schema.table("Z")
+
+    def test_foreign_key_navigation(self):
+        schema = self.make()
+        fks = list(schema.foreign_keys())
+        assert len(fks) == 1
+        assert schema.foreign_keys_from("B") == (fks[0],)
+        assert schema.foreign_keys_to("A") == (fks[0],)
+        assert schema.foreign_keys_to("B") == ()
+
+    def test_foreign_key_target_column_validated(self):
+        schema = self.make()
+        with pytest.raises(SchemaError):
+            schema.add_foreign_key("B", ["B_ID"], "A", ["NOPE"])
+
+    def test_foreign_key_for(self):
+        schema = self.make()
+        found = schema.foreign_key_for({Attr("B", "B_A_ID")})
+        assert found is not None and found.ref_table == "A"
+        assert schema.foreign_key_for({Attr("B", "B_ID")}) is None
+        assert schema.foreign_key_for(set()) is None
+        # attrs spanning two tables are never a foreign key
+        assert (
+            schema.foreign_key_for({Attr("A", "A_ID"), Attr("B", "B_ID")})
+            is None
+        )
+
+    def test_key_fk_pairs(self):
+        schema = self.make()
+        pairs = list(schema.key_fk_pairs())
+        assert pairs == [
+            (
+                frozenset({Attr("B", "B_A_ID")}),
+                frozenset({Attr("A", "A_ID")}),
+            )
+        ]
+
+    def test_resolve_column_unique(self):
+        schema = self.make()
+        assert schema.resolve_column("A_VAL") == Attr("A", "A_VAL")
+
+    def test_resolve_column_missing(self):
+        schema = self.make()
+        with pytest.raises(SchemaError):
+            schema.resolve_column("NOPE")
+
+    def test_resolve_column_ambiguous(self):
+        schema = DatabaseSchema("amb")
+        schema.add_table(integer_table("X", ["ID"], ["ID"]))
+        schema.add_table(integer_table("Y", ["ID"], ["ID"]))
+        with pytest.raises(SchemaError):
+            schema.resolve_column("ID")
+        assert schema.resolve_column("ID", among_tables=["X"]) == Attr("X", "ID")
+
+    def test_attr_parsing(self):
+        schema = self.make()
+        assert schema.attr("B.B_A_ID") == Attr("B", "B_A_ID")
+        assert schema.attr("A_VAL") == Attr("A", "A_VAL")
+        with pytest.raises(SchemaError):
+            schema.attr("B.NOPE")
+
+    def test_primary_key_attrs(self):
+        schema = self.make()
+        assert schema.primary_key_attrs("A") == frozenset({Attr("A", "A_ID")})
+
+    def test_composite_fk(self, custinfo_schema):
+        fk = custinfo_schema.foreign_key_for(
+            {Attr("HOLDING_SUMMARY", "HS_CA_ID")}
+        )
+        assert fk is not None
+        assert fk.ref_table == "CUSTOMER_ACCOUNT"
+
+    def test_iteration(self):
+        schema = self.make()
+        assert [t.name for t in schema] == ["A", "B"]

@@ -1,0 +1,127 @@
+"""Self-referencing foreign keys and the router batch summary."""
+
+import random
+
+import pytest
+
+from repro.core import JECBConfig, JECBPartitioner
+from repro.core.compat import AttributeLattice
+from repro.core.pathfinder import enumerate_paths, reachable_attrs, shortest_path
+from repro.procedures import ProcedureCatalog, StoredProcedure
+from repro.routing import Router
+from repro.schema import Attr, DatabaseSchema, integer_table
+from repro.storage import Database
+from repro.trace import TraceCollector
+
+
+@pytest.fixture
+def employee_schema():
+    """EMPLOYEE.MANAGER_ID -> EMPLOYEE.E_ID: a self-referencing FK."""
+    schema = DatabaseSchema("org")
+    schema.add_table(
+        integer_table(
+            "EMPLOYEE", ["E_ID", "E_MANAGER_ID", "E_DEPT_ID"], ["E_ID"]
+        )
+    )
+    schema.add_table(integer_table("DEPT", ["D_ID", "D_NAME"], ["D_ID"]))
+    schema.add_foreign_key("EMPLOYEE", ["E_MANAGER_ID"], "EMPLOYEE", ["E_ID"])
+    schema.add_foreign_key("EMPLOYEE", ["E_DEPT_ID"], "DEPT", ["D_ID"])
+    return schema
+
+
+class TestSelfReferencingFk:
+    def test_lattice_does_not_loop(self, employee_schema):
+        lattice = AttributeLattice(employee_schema)
+        # self-FK makes E_MANAGER_ID ≡ E_ID (a cycle within one table)
+        assert lattice.compare(
+            Attr("EMPLOYEE", "E_MANAGER_ID"), Attr("EMPLOYEE", "E_ID")
+        ) == "equal"
+
+    def test_path_enumeration_terminates(self, employee_schema):
+        paths = enumerate_paths(
+            employee_schema,
+            frozenset({Attr("EMPLOYEE", "E_ID")}),
+            Attr("DEPT", "D_ID"),
+        )
+        assert paths  # E_ID -> E_DEPT_ID -> D_ID exists
+        # the self-loop may add the manager hop but never an infinite one
+        assert all(len(p) <= 12 for p in paths)
+
+    def test_reachable_attrs_terminates(self, employee_schema):
+        reached = reachable_attrs(
+            employee_schema, frozenset({Attr("EMPLOYEE", "E_ID")})
+        )
+        assert Attr("DEPT", "D_NAME") in reached
+
+    def test_shortest_path_through_self_fk(self, employee_schema):
+        # follow the manager edge once: E_MANAGER_ID -> E_ID
+        found = shortest_path(
+            employee_schema,
+            frozenset({Attr("EMPLOYEE", "E_MANAGER_ID")}),
+            Attr("EMPLOYEE", "E_ID"),
+        )
+        assert found is not None and len(found) == 2
+
+    def test_jecb_end_to_end_with_self_fk(self, employee_schema):
+        database = Database(employee_schema)
+        rng = random.Random(3)
+        for dept in (1, 2):
+            database.insert("DEPT", {"D_ID": dept, "D_NAME": dept})
+        for employee in range(1, 41):
+            database.insert(
+                "EMPLOYEE",
+                {
+                    "E_ID": employee,
+                    # managers are employees 1 and 2, heading one dept each
+                    "E_MANAGER_ID": 1 + employee % 2,
+                    "E_DEPT_ID": 1 + employee % 2,
+                },
+            )
+        procedure = StoredProcedure(
+            "DeptReview",
+            params=["dept"],
+            statements={
+                "read": """
+                    SELECT E_ID FROM EMPLOYEE WHERE E_DEPT_ID = @dept
+                """,
+                "write": """
+                    UPDATE EMPLOYEE SET E_MANAGER_ID = E_MANAGER_ID + 0
+                    WHERE E_DEPT_ID = @dept
+                """,
+            },
+        )
+        catalog = ProcedureCatalog([procedure])
+        collector = TraceCollector(database)
+        for _ in range(60):
+            collector.run(procedure, {"dept": rng.randint(1, 2)})
+        result = JECBPartitioner(
+            database, catalog, JECBConfig(num_partitions=2)
+        ).run(collector.trace)
+        assert result.cost == 0.0
+        assert result.phase3.best_attribute.column == "E_DEPT_ID"
+
+
+class TestRouteSummary:
+    def test_batch_summary(self, custinfo_workload):
+        database, catalog, trace = custinfo_workload
+        result = JECBPartitioner(
+            database, catalog, JECBConfig(num_partitions=4)
+        ).run(trace)
+        router = Router(database, catalog, result.partitioning)
+        calls = [("CustInfo", {"cust_id": c}) for c in range(1, 21)]
+        calls.append(("CustInfo", {}))  # unroutable -> broadcast
+        summary = router.route_summary(calls)
+        assert summary.total == 21
+        assert summary.single_partition == 20
+        assert summary.broadcast == 1
+        assert summary.single_partition_fraction == pytest.approx(20 / 21)
+        assert "21 calls" in str(summary)
+
+    def test_empty_batch(self, custinfo_workload):
+        database, catalog, trace = custinfo_workload
+        result = JECBPartitioner(
+            database, catalog, JECBConfig(num_partitions=4)
+        ).run(trace)
+        router = Router(database, catalog, result.partitioning)
+        summary = router.route_summary([])
+        assert summary.single_partition_fraction == 0.0

@@ -1,0 +1,145 @@
+"""Unit tests for the static SQL analyzer (the "CB" in JECB)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.schema import Attr
+from repro.sql import analyze_procedure, analyze_statement
+from repro.sql.parser import parse_statement
+
+
+def analyze(sql, schema):
+    return analyze_statement(parse_statement(sql), schema)
+
+
+class TestSelectAnalysis:
+    def test_tables_and_select_attrs(self, custinfo_schema):
+        result = analyze("SELECT T_QTY FROM TRADE", custinfo_schema)
+        assert result.tables == {"TRADE"}
+        assert result.select_attrs == {Attr("TRADE", "T_QTY")}
+        assert result.writes == set()
+
+    def test_where_attrs_are_candidates(self, custinfo_schema):
+        result = analyze(
+            "SELECT T_QTY FROM TRADE WHERE T_ID = @t", custinfo_schema
+        )
+        assert result.candidate_attrs == {Attr("TRADE", "T_ID")}
+
+    def test_param_binding_recorded(self, custinfo_schema):
+        result = analyze(
+            "SELECT T_QTY FROM TRADE WHERE T_ID = @t", custinfo_schema
+        )
+        assert (Attr("TRADE", "T_ID"), "t") in result.param_bindings
+
+    def test_param_binding_reversed_sides(self, custinfo_schema):
+        result = analyze(
+            "SELECT T_QTY FROM TRADE WHERE @t = T_ID", custinfo_schema
+        )
+        assert (Attr("TRADE", "T_ID"), "t") in result.param_bindings
+
+    def test_in_param_binding(self, custinfo_schema):
+        result = analyze(
+            "SELECT T_QTY FROM TRADE WHERE T_ID IN @ids", custinfo_schema
+        )
+        assert (Attr("TRADE", "T_ID"), "ids") in result.param_bindings
+
+    def test_explicit_join_from_on_clause(self, custinfo_schema):
+        result = analyze(
+            "SELECT HS_QTY FROM HOLDING_SUMMARY join CUSTOMER_ACCOUNT "
+            "on HS_CA_ID = CA_ID WHERE CA_C_ID = @c",
+            custinfo_schema,
+        )
+        pair = frozenset(
+            {Attr("HOLDING_SUMMARY", "HS_CA_ID"), Attr("CUSTOMER_ACCOUNT", "CA_ID")}
+        )
+        assert pair in result.explicit_joins
+        assert result.tables == {"HOLDING_SUMMARY", "CUSTOMER_ACCOUNT"}
+
+    def test_explicit_join_from_where_equality(self, custinfo_schema):
+        result = analyze(
+            "SELECT T_QTY FROM TRADE join CUSTOMER_ACCOUNT on T_CA_ID = CA_ID "
+            "WHERE T_CA_ID = CA_ID",
+            custinfo_schema,
+        )
+        pair = frozenset(
+            {Attr("TRADE", "T_CA_ID"), Attr("CUSTOMER_ACCOUNT", "CA_ID")}
+        )
+        assert pair in result.explicit_joins
+
+    def test_unknown_table_rejected(self, custinfo_schema):
+        with pytest.raises(AnalysisError):
+            analyze("SELECT NOPE.X FROM TRADE", custinfo_schema)
+
+    def test_unknown_qualified_column_rejected(self, custinfo_schema):
+        with pytest.raises(AnalysisError):
+            analyze("SELECT TRADE.NOPE FROM TRADE", custinfo_schema)
+
+    def test_star_contributes_no_select_attrs(self, custinfo_schema):
+        result = analyze("SELECT * FROM TRADE", custinfo_schema)
+        assert result.select_attrs == set()
+
+
+class TestWriteAnalysis:
+    def test_insert(self, custinfo_schema):
+        result = analyze(
+            "INSERT INTO TRADE (T_ID, T_CA_ID, T_QTY) VALUES (@t, @ca, 1)",
+            custinfo_schema,
+        )
+        assert result.writes == {"TRADE"}
+        # inserted key columns behave like WHERE attributes
+        assert Attr("TRADE", "T_CA_ID") in result.where_attrs
+        assert (Attr("TRADE", "T_CA_ID"), "ca") in result.param_bindings
+
+    def test_insert_unknown_column(self, custinfo_schema):
+        with pytest.raises(AnalysisError):
+            analyze("INSERT INTO TRADE (NOPE) VALUES (1)", custinfo_schema)
+
+    def test_update(self, custinfo_schema):
+        result = analyze(
+            "UPDATE TRADE SET T_QTY = T_QTY + 1 WHERE T_CA_ID = @ca",
+            custinfo_schema,
+        )
+        assert result.writes == {"TRADE"}
+        assert Attr("TRADE", "T_CA_ID") in result.where_attrs
+        # columns read by the SET expression are select attrs
+        assert Attr("TRADE", "T_QTY") in result.select_attrs
+
+    def test_update_unknown_set_column(self, custinfo_schema):
+        with pytest.raises(AnalysisError):
+            analyze("UPDATE TRADE SET NOPE = 1", custinfo_schema)
+
+    def test_delete(self, custinfo_schema):
+        result = analyze(
+            "DELETE FROM TRADE WHERE T_ID = @t", custinfo_schema
+        )
+        assert result.writes == {"TRADE"}
+        assert Attr("TRADE", "T_ID") in result.where_attrs
+
+
+class TestProcedureAnalysis:
+    def test_custinfo_merged(self, custinfo_schema, custinfo_procedure):
+        result = analyze_procedure(
+            custinfo_procedure.statements, custinfo_schema
+        )
+        assert result.tables == {
+            "TRADE", "CUSTOMER_ACCOUNT", "HOLDING_SUMMARY",
+        }
+        assert result.writes == {"TRADE"}
+        assert len(result.explicit_joins) == 2
+
+    def test_implicit_join_discovery_pool(self, custinfo_schema):
+        # Example 3's rewritten form: a value selected by one query is
+        # used in another's WHERE; both attributes land in accessed_attrs.
+        statements = [
+            parse_statement(
+                "SELECT @acct = T_CA_ID FROM TRADE WHERE T_ID = @t"
+            ),
+            parse_statement(
+                "SELECT CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @acct"
+            ),
+        ]
+        result = analyze_procedure(statements, custinfo_schema)
+        assert Attr("TRADE", "T_CA_ID") in result.accessed_attrs
+        assert Attr("CUSTOMER_ACCOUNT", "CA_ID") in result.accessed_attrs
+        # but T_CA_ID is select-only, hence not a candidate attribute
+        assert Attr("TRADE", "T_CA_ID") not in result.candidate_attrs

@@ -1,0 +1,200 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql import ast
+from repro.sql.parser import parse_script, parse_statement
+
+
+class TestSelect:
+    def test_simple(self):
+        stmt = parse_statement("SELECT A FROM T")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.table == "T"
+        assert stmt.items[0].expr == ast.ColumnRef("A")
+
+    def test_star(self):
+        stmt = parse_statement("SELECT * FROM T")
+        assert stmt.items[0].expr.name == "*"
+
+    def test_multiple_items_and_alias(self):
+        stmt = parse_statement("SELECT A, B AS bee FROM T")
+        assert len(stmt.items) == 2
+        assert stmt.items[1].alias == "bee"
+
+    def test_qualified_column(self):
+        stmt = parse_statement("SELECT T.A FROM T")
+        assert stmt.items[0].expr == ast.ColumnRef("A", table="T")
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT A FROM T").distinct
+
+    def test_aggregates(self):
+        for func, norm in [
+            ("SUM", "SUM"), ("AVG", "AVG"), ("AVERAGE", "AVG"),
+            ("COUNT", "COUNT"), ("MIN", "MIN"), ("MAX", "MAX"),
+        ]:
+            stmt = parse_statement(f"SELECT {func}(A) FROM T")
+            assert stmt.items[0].aggregate == norm
+
+    def test_count_star(self):
+        stmt = parse_statement("SELECT COUNT(*) FROM T")
+        assert stmt.items[0].expr.name == "*"
+
+    def test_assignment_target(self):
+        stmt = parse_statement("SELECT @x = A FROM T")
+        assert stmt.items[0].assign_to == "x"
+
+    def test_assignment_with_aggregate(self):
+        stmt = parse_statement("SELECT @x = SUM(A) FROM T")
+        assert stmt.items[0].assign_to == "x"
+        assert stmt.items[0].aggregate == "SUM"
+
+    def test_join(self):
+        stmt = parse_statement(
+            "SELECT A FROM T join U on T.X = U.Y WHERE A = 1"
+        )
+        assert stmt.joins[0].table == "U"
+        assert stmt.joins[0].left == ast.ColumnRef("X", "T")
+        assert stmt.tables == ("T", "U")
+
+    def test_multiple_joins(self):
+        stmt = parse_statement(
+            "SELECT A FROM T join U on X = Y join V on P = Q"
+        )
+        assert len(stmt.joins) == 2
+
+    def test_join_requires_equality(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT A FROM T join U on X < Y")
+
+    def test_where_conjunction(self):
+        stmt = parse_statement("SELECT A FROM T WHERE A = 1 AND B > @p AND C <> 3")
+        assert len(stmt.where) == 3
+        comparison = stmt.where[1]
+        assert comparison.op == ">"
+        assert comparison.right == ast.Param("p")
+
+    def test_where_in_list(self):
+        stmt = parse_statement("SELECT A FROM T WHERE A IN (1, 2, 3)")
+        pred = stmt.where[0]
+        assert isinstance(pred, ast.InPredicate)
+        assert [v.value for v in pred.values] == [1, 2, 3]
+
+    def test_where_in_param(self):
+        stmt = parse_statement("SELECT A FROM T WHERE A IN @ids")
+        pred = stmt.where[0]
+        assert pred.param == ast.Param("ids")
+
+    def test_where_between(self):
+        stmt = parse_statement("SELECT A FROM T WHERE A BETWEEN 1 AND @hi")
+        pred = stmt.where[0]
+        assert isinstance(pred, ast.BetweenPredicate)
+        assert pred.high == ast.Param("hi")
+
+    def test_order_by_limit(self):
+        stmt = parse_statement("SELECT A FROM T ORDER BY A DESC LIMIT 5")
+        assert stmt.order_by.descending
+        assert stmt.limit == 5
+
+    def test_order_by_asc_default(self):
+        stmt = parse_statement("SELECT A FROM T ORDER BY A")
+        assert not stmt.order_by.descending
+
+    def test_limit_requires_number(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT A FROM T LIMIT x")
+
+    def test_str_roundtrip_parses(self):
+        text = (
+            "SELECT DISTINCT A, SUM(B) AS total FROM T join U on X = Y "
+            "WHERE A = @p AND B IN (1, 2) ORDER BY A DESC LIMIT 3"
+        )
+        stmt = parse_statement(text)
+        again = parse_statement(str(stmt))
+        assert str(again) == str(stmt)
+
+
+class TestInsert:
+    def test_basic(self):
+        stmt = parse_statement(
+            "INSERT INTO T (A, B) VALUES (@a, 2)"
+        )
+        assert isinstance(stmt, ast.Insert)
+        assert stmt.columns == ("A", "B")
+        assert stmt.values[0] == ast.Param("a")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("INSERT INTO T (A, B) VALUES (1)")
+
+    def test_null_value(self):
+        stmt = parse_statement("INSERT INTO T (A) VALUES (NULL)")
+        assert stmt.values[0].value is None
+
+
+class TestUpdate:
+    def test_basic(self):
+        stmt = parse_statement("UPDATE T SET A = 1, B = @b WHERE C = 2")
+        assert isinstance(stmt, ast.Update)
+        assert stmt.assignments[0] == ("A", ast.Literal(1))
+        assert len(stmt.where) == 1
+
+    def test_arithmetic_assignment(self):
+        stmt = parse_statement("UPDATE T SET A = A + 1 WHERE B = 2")
+        expr = stmt.assignments[0][1]
+        assert isinstance(expr, ast.BinaryOp)
+        assert expr.op == "+"
+        assert expr.left == ast.ColumnRef("A")
+
+    def test_subtraction(self):
+        stmt = parse_statement("UPDATE T SET A = A - @d")
+        assert stmt.assignments[0][1].op == "-"
+
+    def test_chained_arithmetic(self):
+        stmt = parse_statement("UPDATE T SET A = A + 1 - @d")
+        outer = stmt.assignments[0][1]
+        assert outer.op == "-"
+        assert outer.left.op == "+"
+
+
+class TestDelete:
+    def test_basic(self):
+        stmt = parse_statement("DELETE FROM T WHERE A = 1")
+        assert isinstance(stmt, ast.Delete)
+        assert stmt.table == "T"
+
+    def test_without_where(self):
+        stmt = parse_statement("DELETE FROM T")
+        assert stmt.where == ()
+
+
+class TestScriptsAndErrors:
+    def test_parse_script(self):
+        statements = parse_script(
+            "SELECT A FROM T; UPDATE T SET A = 1; DELETE FROM T"
+        )
+        assert len(statements) == 3
+
+    def test_trailing_semicolon_ok(self):
+        assert parse_statement("SELECT A FROM T;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT A FROM T garbage")
+
+    def test_unknown_statement(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("MERGE INTO T")
+
+    def test_predicate_columns_helper(self):
+        stmt = parse_statement("SELECT A FROM T WHERE X = Y AND Z IN (1)")
+        columns = ast.predicate_columns(stmt.where[0])
+        assert {c.name for c in columns} == {"X", "Y"}
+        assert ast.predicate_columns(stmt.where[1])[0].name == "Z"
+
+    def test_expr_columns_helper(self):
+        expr = ast.BinaryOp(ast.ColumnRef("A"), "+", ast.Literal(1))
+        assert [c.name for c in ast.expr_columns(expr)] == ["A"]
+        assert ast.expr_columns(ast.Literal(2)) == ()

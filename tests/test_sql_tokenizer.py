@@ -1,0 +1,84 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql.tokenizer import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)[:-1]]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        assert values("select FROM Where") == ["SELECT", "FROM", "WHERE"]
+        assert kinds("select") == [TokenType.KEYWORD]
+
+    def test_identifier_keeps_case(self):
+        assert values("T_Id") == ["T_Id"]
+        assert kinds("T_Id") == [TokenType.IDENT]
+
+    def test_param(self):
+        tokens = tokenize("@cust_id")
+        assert tokens[0].type is TokenType.PARAM
+        assert tokens[0].value == "cust_id"
+
+    def test_bare_at_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("@ x")
+
+    def test_numbers(self):
+        assert values("42 3.5") == ["42", "3.5"]
+        assert kinds("42") == [TokenType.NUMBER]
+
+    def test_number_then_punct(self):
+        # "42," must not swallow the comma
+        assert values("42,") == ["42", ","]
+
+    def test_string_literal(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "hello world"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        assert values("a <= b >= c <> d != e = f < g > h + i - j") == [
+            "a", "<=", "b", ">=", "c", "<>", "d", "<>", "e", "=", "f",
+            "<", "g", ">", "h", "+", "i", "-", "j",
+        ]
+
+    def test_punctuation(self):
+        assert values("(a, b.c)*;") == ["(", "a", ",", "b", ".", "c", ")", "*", ";"]
+
+    def test_comment_skipped(self):
+        assert values("a -- comment\nb") == ["a", "b"]
+
+    def test_comment_at_end(self):
+        assert values("a -- no newline") == ["a"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError) as err:
+            tokenize("a ? b")
+        assert "offset" in str(err.value)
+
+    def test_eof_token(self):
+        tokens = tokenize("a")
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_is_keyword_helper(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 0)
+        assert token.is_keyword("SELECT")
+        assert not token.is_keyword("FROM")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3

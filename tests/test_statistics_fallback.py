@@ -1,0 +1,105 @@
+"""Tests for the Section-5.3 statistics fallback."""
+
+import random
+
+import pytest
+
+from repro.core.join_path import JoinPath
+from repro.core.join_tree import JoinTree
+from repro.core.path_eval import JoinPathEvaluator
+from repro.core.statistics import (
+    build_statistics_mapping,
+    evaluate_fallback,
+    transaction_root_values,
+)
+from repro.schema import Attr, DatabaseSchema, integer_table
+from repro.storage import Database
+from repro.trace.events import Trace, TransactionTrace
+
+
+@pytest.fixture
+def clustered_workload():
+    """Items clustered in pairs: (1,2), (3,4), ... always co-accessed.
+
+    A lookup mapping that co-locates pairs beats both hash and range only
+    if it discovers the pairing — which min-cut does.
+    """
+    schema = DatabaseSchema("stats")
+    schema.add_table(integer_table("ITEM", ["I_ID", "I_GRP"], ["I_ID"]))
+    database = Database(schema)
+    for i in range(1, 41):
+        database.insert("ITEM", {"I_ID": i, "I_GRP": (i + 1) // 2})
+    rng = random.Random(5)
+    trace = Trace()
+    for t in range(200):
+        txn = TransactionTrace(t, "pairs")
+        # pick a pair with a "stride" so neighbors by id are NOT paired
+        base = rng.randrange(20)
+        first = 1 + base
+        second = 21 + base
+        txn.record("ITEM", (first,), t % 10 == 0)
+        txn.record("ITEM", (second,), False)
+        trace.append(txn)
+    tree = JoinTree(
+        Attr("ITEM", "I_ID"),
+        {"ITEM": JoinPath.parse(schema, ["ITEM.I_ID"])},
+    )
+    return database, trace, tree
+
+
+class TestTransactionRootValues:
+    def test_groups(self, clustered_workload):
+        database, trace, tree = clustered_workload
+        evaluator = JoinPathEvaluator(database)
+        groups = transaction_root_values(tree, trace, evaluator)
+        assert len(groups) == len(trace)
+        assert all(len(g) == 2 for g in groups)
+
+    def test_unroutable_skipped(self, clustered_workload):
+        database, _trace, tree = clustered_workload
+        txn = TransactionTrace(0, "pairs")
+        txn.record("ITEM", (1,), False)
+        evaluator = JoinPathEvaluator(database)
+        groups = transaction_root_values(tree, Trace([txn]), evaluator)
+        assert groups == [{1}]
+
+
+class TestStatisticsMapping:
+    def test_pairs_colocated(self, clustered_workload):
+        database, trace, tree = clustered_workload
+        evaluator = JoinPathEvaluator(database)
+        mapping = build_statistics_mapping(tree, trace, 4, evaluator)
+        colocated = sum(
+            1 for base in range(20) if mapping(1 + base) == mapping(21 + base)
+        )
+        assert colocated >= 18
+
+    def test_fallback_beats_hash_and_range(self, clustered_workload):
+        database, trace, tree = clustered_workload
+        result = evaluate_fallback(tree, trace, trace, 4, database)
+        assert result.lookup_cost < result.hash_cost
+        assert result.lookup_cost < result.range_cost
+        assert result.meaningful
+
+    def test_random_coaccess_not_meaningful(self):
+        """Unclusterable workloads must be rejected (non-partitionable)."""
+        schema = DatabaseSchema("rand")
+        schema.add_table(integer_table("ITEM", ["I_ID"], ["I_ID"]))
+        database = Database(schema)
+        for i in range(1, 101):
+            database.insert("ITEM", {"I_ID": i})
+        rng = random.Random(11)
+        tree = JoinTree(
+            Attr("ITEM", "I_ID"),
+            {"ITEM": JoinPath.parse(schema, ["ITEM.I_ID"])},
+        )
+        train, validation = Trace(), Trace()
+        for t in range(300):
+            txn = TransactionTrace(t, "rand")
+            for item in rng.sample(range(1, 101), 3):
+                txn.record("ITEM", (item,), False)
+            (train if t % 2 == 0 else validation).append(txn)
+        result = evaluate_fallback(tree, train, validation, 8, database)
+        # random co-access cannot beat hashing by a meaningful margin;
+        # allow tiny noise but lookup must not dramatically win
+        assert result.lookup_cost > 0.5

@@ -1,0 +1,170 @@
+"""Unit tests for the in-memory storage engine."""
+
+import pytest
+
+from repro.errors import IntegrityError, StorageError
+from repro.schema import DatabaseSchema, integer_table
+from repro.storage import Database, Table
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table(integer_table("T", ["A", "B", "C"], ["A", "B"]))
+
+
+class TestTable:
+    def test_insert_and_get(self, table):
+        key = table.insert({"A": 1, "B": 2, "C": 3})
+        assert key == (1, 2)
+        assert table.get((1, 2))["C"] == 3
+        assert table.get((9, 9)) is None
+
+    def test_duplicate_key_rejected(self, table):
+        table.insert({"A": 1, "B": 2, "C": 3})
+        with pytest.raises(StorageError):
+            table.insert({"A": 1, "B": 2, "C": 9})
+
+    def test_insert_missing_pk_rejected(self, table):
+        with pytest.raises(StorageError):
+            table.insert({"A": 1, "C": 3})
+
+    def test_insert_validate_flag(self, table):
+        with pytest.raises(Exception):
+            table.insert({"A": 1, "B": 2, "C": "nope"}, validate=True)
+
+    def test_update(self, table):
+        table.insert({"A": 1, "B": 2, "C": 3})
+        row = table.update((1, 2), {"C": 9})
+        assert row["C"] == 9
+        assert table.get((1, 2))["C"] == 9
+
+    def test_update_missing_row(self, table):
+        with pytest.raises(StorageError):
+            table.update((1, 2), {"C": 9})
+
+    def test_update_pk_column_rejected(self, table):
+        table.insert({"A": 1, "B": 2, "C": 3})
+        with pytest.raises(StorageError):
+            table.update((1, 2), {"A": 5})
+
+    def test_update_unknown_column_rejected(self, table):
+        table.insert({"A": 1, "B": 2, "C": 3})
+        with pytest.raises(StorageError):
+            table.update((1, 2), {"Z": 5})
+
+    def test_delete(self, table):
+        table.insert({"A": 1, "B": 2, "C": 3})
+        row = table.delete((1, 2))
+        assert row["C"] == 3
+        assert table.get((1, 2)) is None
+        with pytest.raises(StorageError):
+            table.delete((1, 2))
+
+    def test_graveyard_snapshot(self, table):
+        table.insert({"A": 1, "B": 2, "C": 3})
+        table.delete((1, 2))
+        snapshot = table.get_snapshot((1, 2))
+        assert snapshot is not None and snapshot["C"] == 3
+
+    def test_reinsert_clears_graveyard(self, table):
+        table.insert({"A": 1, "B": 2, "C": 3})
+        table.delete((1, 2))
+        table.insert({"A": 1, "B": 2, "C": 7})
+        assert table.get_snapshot((1, 2))["C"] == 7
+
+    def test_lookup_by_primary_key(self, table):
+        table.insert({"A": 1, "B": 2, "C": 3})
+        rows = table.lookup(("A", "B"), (1, 2))
+        assert len(rows) == 1 and rows[0]["C"] == 3
+        assert table.lookup(("A", "B"), (8, 8)) == []
+
+    def test_lookup_builds_secondary_index(self, table):
+        for i in range(5):
+            table.insert({"A": i, "B": 0, "C": i % 2})
+        rows = table.lookup(("C",), (0,))
+        assert {r["A"] for r in rows} == {0, 2, 4}
+
+    def test_index_maintained_on_update(self, table):
+        table.insert({"A": 1, "B": 2, "C": 3})
+        table.ensure_index(("C",))
+        table.update((1, 2), {"C": 4})
+        assert table.lookup(("C",), (3,)) == []
+        assert len(table.lookup(("C",), (4,))) == 1
+
+    def test_index_maintained_on_delete(self, table):
+        table.insert({"A": 1, "B": 2, "C": 3})
+        table.ensure_index(("C",))
+        table.delete((1, 2))
+        assert table.lookup(("C",), (3,)) == []
+
+    def test_index_maintained_on_insert_after_creation(self, table):
+        table.ensure_index(("C",))
+        table.insert({"A": 1, "B": 2, "C": 3})
+        assert len(table.lookup(("C",), (3,))) == 1
+
+    def test_ensure_index_unknown_column(self, table):
+        with pytest.raises(StorageError):
+            table.ensure_index(("Z",))
+
+    def test_scan_with_predicate(self, table):
+        for i in range(4):
+            table.insert({"A": i, "B": 0, "C": i})
+        assert len(list(table.scan())) == 4
+        assert len(list(table.scan(lambda r: r["C"] >= 2))) == 2
+
+    def test_len_and_keys(self, table):
+        table.insert({"A": 1, "B": 2, "C": 3})
+        assert len(table) == 1
+        assert list(table.keys()) == [(1, 2)]
+
+
+class TestDatabase:
+    def make(self) -> Database:
+        schema = DatabaseSchema("d")
+        schema.add_table(integer_table("A", ["A_ID"], ["A_ID"]))
+        schema.add_table(integer_table("B", ["B_ID", "B_A_ID"], ["B_ID"]))
+        schema.add_foreign_key("B", ["B_A_ID"], "A", ["A_ID"])
+        return Database(schema)
+
+    def test_table_access(self):
+        database = self.make()
+        assert database.table("A").schema.name == "A"
+        with pytest.raises(StorageError):
+            database.table("Z")
+
+    def test_crud_shortcuts(self):
+        database = self.make()
+        database.insert("A", {"A_ID": 1})
+        assert database.get("A", (1,)) == {"A_ID": 1}
+        database.insert("B", {"B_ID": 1, "B_A_ID": 1})
+        database.update("B", (1,), {"B_A_ID": 1})
+        database.delete("B", (1,))
+        assert database.get("B", (1,)) is None
+
+    def test_row_count(self):
+        database = self.make()
+        database.insert("A", {"A_ID": 1})
+        database.insert("B", {"B_ID": 1, "B_A_ID": 1})
+        assert database.row_count() == 2
+
+    def test_integrity_ok(self):
+        database = self.make()
+        database.insert("A", {"A_ID": 1})
+        database.insert("B", {"B_ID": 1, "B_A_ID": 1})
+        database.check_integrity()
+
+    def test_integrity_violation(self):
+        database = self.make()
+        database.insert("B", {"B_ID": 1, "B_A_ID": 99})
+        with pytest.raises(IntegrityError):
+            database.check_integrity()
+
+    def test_integrity_allows_null_fk(self):
+        database = self.make()
+        database.insert("B", {"B_ID": 1, "B_A_ID": None})
+        database.check_integrity()
+
+    def test_figure1_data(self, figure1_db):
+        assert len(figure1_db.table("TRADE")) == 8
+        assert len(figure1_db.table("HOLDING_SUMMARY")) == 8
+        figure1_db.check_integrity()

@@ -1,0 +1,60 @@
+"""Statistical checks: drivers respect their declared mix percentages."""
+
+import pytest
+
+from repro.workloads.tatp.benchmark import MIX as TATP_MIX
+from repro.workloads.tatp import TatpBenchmark, TatpConfig
+from repro.workloads.tpcc.procedures import MIX as TPCC_MIX
+from repro.workloads.tpcc import TpccBenchmark, TpccConfig
+from repro.workloads.tpce import PAPER_MIX, TpceBenchmark, TpceConfig
+
+
+def observed_mix(trace):
+    counts: dict[str, int] = {}
+    for txn in trace:
+        counts[txn.class_name] = counts.get(txn.class_name, 0) + 1
+    total = len(trace)
+    return {name: count / total for name, count in counts.items()}
+
+
+def assert_mix_close(observed, declared, tolerance):
+    total = sum(declared.values())
+    for name, weight in declared.items():
+        expected = weight / total
+        got = observed.get(name, 0.0)
+        assert abs(got - expected) < tolerance, (name, expected, got)
+
+
+class TestMixes:
+    def test_tpce_mix_matches_table3(self):
+        bundle = TpceBenchmark(
+            TpceConfig(customers=30, companies=8)
+        ).generate(4000, seed=71)
+        assert_mix_close(observed_mix(bundle.trace), PAPER_MIX, 0.02)
+
+    def test_tpcc_mix(self):
+        bundle = TpccBenchmark(
+            TpccConfig(warehouses=2, customers_per_district=10)
+        ).generate(3000, seed=71)
+        assert_mix_close(observed_mix(bundle.trace), TPCC_MIX, 0.03)
+
+    def test_tatp_mix(self):
+        bundle = TatpBenchmark(TatpConfig(subscribers=200)).generate(
+            3000, seed=71
+        )
+        assert_mix_close(observed_mix(bundle.trace), TATP_MIX, 0.03)
+
+    def test_mix_deterministic_per_seed(self):
+        a = TatpBenchmark(TatpConfig(subscribers=50)).generate(200, seed=5)
+        b = TatpBenchmark(TatpConfig(subscribers=50)).generate(200, seed=5)
+        assert [t.class_name for t in a.trace] == [
+            t.class_name for t in b.trace
+        ]
+        assert a.trace.distinct_tuples() == b.trace.distinct_tuples()
+
+    def test_different_seeds_differ(self):
+        a = TatpBenchmark(TatpConfig(subscribers=50)).generate(200, seed=5)
+        b = TatpBenchmark(TatpConfig(subscribers=50)).generate(200, seed=6)
+        assert [t.class_name for t in a.trace] != [
+            t.class_name for t in b.trace
+        ]

@@ -1,0 +1,82 @@
+"""Tests for the TPC-C workload substrate."""
+
+import pytest
+
+from repro.trace.stats import TableUsage, classify_tables
+from repro.workloads.tpcc import (
+    TpccBenchmark,
+    TpccConfig,
+    WAREHOUSE_SPEC,
+    warehouse_partitioning,
+)
+from repro.evaluation import PartitioningEvaluator
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return TpccBenchmark(
+        TpccConfig(warehouses=4, customers_per_district=10)
+    ).generate(600, seed=21, check_integrity=True)
+
+
+class TestSchemaAndLoad:
+    def test_nine_tables(self, bundle):
+        assert len(bundle.database.schema.tables) == 9
+
+    def test_cardinalities(self, bundle):
+        database = bundle.database
+        assert len(database.table("WAREHOUSE")) == 4
+        assert len(database.table("DISTRICT")) == 16
+        assert len(database.table("CUSTOMER")) == 160
+        assert len(database.table("STOCK")) == 4 * 100
+
+    def test_referential_integrity_after_run(self, bundle):
+        bundle.database.check_integrity()
+
+    def test_mix_all_classes_present(self, bundle):
+        assert set(bundle.trace.class_names) == {
+            "NewOrder", "Payment", "OrderStatus", "Delivery", "StockLevel",
+        }
+
+    def test_mix_roughly_standard(self, bundle):
+        counts = {}
+        for txn in bundle.trace:
+            counts[txn.class_name] = counts.get(txn.class_name, 0) + 1
+        assert counts["NewOrder"] > counts["OrderStatus"]
+        assert counts["Payment"] > counts["Delivery"]
+
+
+class TestSemantics:
+    def test_item_read_only(self, bundle):
+        usage = classify_tables(bundle.trace, bundle.database.schema)
+        assert usage["ITEM"] is TableUsage.READ_ONLY
+        for table in ("WAREHOUSE", "DISTRICT", "CUSTOMER", "STOCK"):
+            assert usage[table] is TableUsage.PARTITIONED
+
+    def test_orders_grow(self, bundle):
+        config = TpccConfig(warehouses=4, customers_per_district=10)
+        initial = 4 * config.districts_per_warehouse * config.initial_orders_per_district
+        assert len(bundle.database.table("ORDERS")) > initial
+
+    def test_remote_accesses_exist(self, bundle):
+        """Payment's 15% remote customers make warehouse partitioning
+        imperfect — the inherent distributed floor of TPC-C."""
+        evaluator = PartitioningEvaluator(bundle.database)
+        reference = warehouse_partitioning(bundle.database.schema, 4)
+        report = evaluator.evaluate(reference, bundle.trace)
+        assert 0.0 < report.cost < 0.35
+
+    def test_delivery_consumes_new_orders(self):
+        config = TpccConfig(warehouses=1, districts_per_warehouse=2)
+        benchmark = TpccBenchmark(config)
+        bundle = benchmark.generate(300, seed=5)
+        # NEW_ORDER rows were deleted (tombstones exist)
+        table = bundle.database.table("NEW_ORDER")
+        assert len(table._graveyard) > 0
+
+    def test_spec_covers_all_tables(self, bundle):
+        assert set(WAREHOUSE_SPEC) == set(bundle.database.schema.table_names)
+
+    def test_single_warehouse_config(self):
+        bundle = TpccBenchmark(TpccConfig(warehouses=1)).generate(100, seed=9)
+        assert len(bundle.trace) == 100
