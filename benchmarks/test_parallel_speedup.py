@@ -1,0 +1,85 @@
+"""Serial vs parallel Phase-2 wall time, recorded into BENCH_phase2.json.
+
+Runs the JECB partitioner on a multi-class TPC-C bundle with ``workers=1``
+and ``workers=4`` and records both Phase-2 wall times (from
+``result.metrics``) plus the observed ratio. The numbers are *recorded*,
+not asserted: at these scaled-down cardinalities process-pool startup can
+dominate the per-class search, so a speedup only materializes on larger
+bundles. What *is* asserted is the contract that makes the knob safe to
+flip — both runs produce the identical partitioning and cost.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import JECBConfig, JECBPartitioner
+from repro.workloads.tpcc import TpccBenchmark, TpccConfig
+
+from conftest import print_table
+
+RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_phase2.json"
+PARALLEL_WORKERS = 4
+
+
+@pytest.fixture(scope="module")
+def tpcc_bundle():
+    return TpccBenchmark(
+        TpccConfig(warehouses=8, customers_per_district=10)
+    ).generate(2500, seed=11)
+
+
+def _run(bundle, workers):
+    partitioner = JECBPartitioner(
+        bundle.database,
+        bundle.catalog,
+        JECBConfig(num_partitions=8, workers=workers),
+    )
+    return partitioner.run(bundle.trace)
+
+
+@pytest.mark.smoke
+def test_phase2_parallel_speedup(tpcc_bundle):
+    serial = _run(tpcc_bundle, workers=1)
+    parallel = _run(tpcc_bundle, workers=PARALLEL_WORKERS)
+
+    # Parallelism must be invisible in the output.
+    assert parallel.partitioning.describe() == serial.partitioning.describe()
+    assert parallel.cost == serial.cost
+    assert parallel.metrics.parallel
+    assert not serial.metrics.parallel
+
+    serial_s = serial.metrics.phase2_seconds
+    parallel_s = parallel.metrics.phase2_seconds
+    record = {
+        "workload": "tpcc (8 warehouses, 2500 transactions)",
+        "classes": serial.metrics.classes_searched,
+        "serial_workers": 1,
+        "parallel_workers": parallel.metrics.workers,
+        "phase2_serial_seconds": round(serial_s, 4),
+        "phase2_parallel_seconds": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "serial_total_seconds": round(serial.metrics.total_seconds, 4),
+        "parallel_total_seconds": round(parallel.metrics.total_seconds, 4),
+        "identical_output": True,
+    }
+    RESULT_FILE.write_text(json.dumps(record, indent=2) + "\n")
+
+    print_table(
+        "Phase-2 wall time: serial vs parallel (recorded in BENCH_phase2.json)",
+        ["mode", "phase2 s", "total s"],
+        [
+            ["serial", f"{serial_s:.2f}", f"{serial.metrics.total_seconds:.2f}"],
+            [
+                f"{parallel.metrics.workers} workers",
+                f"{parallel_s:.2f}",
+                f"{parallel.metrics.total_seconds:.2f}",
+            ],
+        ],
+    )
+
+    assert RESULT_FILE.exists()
+    assert serial_s > 0 and parallel_s > 0

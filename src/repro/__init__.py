@@ -9,20 +9,32 @@ synthetic Section-7.6 workload; and the evaluation framework of Figure 4.
 
 Quickstart::
 
+    import repro
     from repro.workloads.tpcc import TpccBenchmark
-    from repro.core import JECBPartitioner, JECBConfig
-    from repro.evaluation.framework import PartitioningExperiment
 
     bundle = TpccBenchmark().generate(num_transactions=2000, seed=7)
-    experiment = PartitioningExperiment(bundle)
-    run = experiment.run_jecb(JECBConfig(num_partitions=8))
+    result = repro.partition(bundle, num_partitions=8, workers="auto")
+    print(result.partitioning.describe())
+    print(result.metrics.summary())
+
+Or, with a train/test split and cost scoring (Figure 4)::
+
+    experiment = repro.PartitioningExperiment(bundle)
+    run = experiment.run("jecb", {"num_partitions": 8})
     print(run.report)
 """
 
+from repro.api import available_algorithms, partition, register_partitioner
+from repro.core.metrics import ClassMetrics, SearchMetrics
 from repro.core.partitioner import JECBConfig, JECBPartitioner, JECBResult
 from repro.core.solution import DatabasePartitioning, TableSolution
 from repro.evaluation.evaluator import CostReport, PartitioningEvaluator
-from repro.evaluation.framework import ExperimentRun, PartitioningExperiment
+from repro.evaluation.framework import (
+    ExperimentRun,
+    PartitioningExperiment,
+    register_algorithm,
+    registered_algorithms,
+)
 from repro.schema import Attr, Column, DatabaseSchema, DataType, TableSchema
 from repro.storage import Database, Table
 from repro.procedures import ProcedureCatalog, StoredProcedure
@@ -31,6 +43,13 @@ from repro.trace import Trace, TraceCollector
 __version__ = "1.0.0"
 
 __all__ = [
+    "partition",
+    "available_algorithms",
+    "register_partitioner",
+    "register_algorithm",
+    "registered_algorithms",
+    "SearchMetrics",
+    "ClassMetrics",
     "JECBPartitioner",
     "JECBConfig",
     "JECBResult",

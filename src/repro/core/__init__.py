@@ -23,8 +23,9 @@ from repro.core.mapping import (
     ReplicateMapping,
     stable_hash,
 )
+from repro.core.metrics import CacheStats, ClassMetrics, SearchMetrics
 from repro.core.partitioner import JECBConfig, JECBPartitioner, JECBResult
-from repro.core.path_eval import JoinPathEvaluator
+from repro.core.path_eval import JoinPathEvaluator, SnapshotIndex
 from repro.core.phase2 import ClassResult, Phase2Config, partition_class
 from repro.core.phase3 import Phase3Config, Phase3Result, combine
 from repro.core.solution import (
@@ -51,10 +52,14 @@ __all__ = [
     "RangeMapping",
     "ReplicateMapping",
     "stable_hash",
+    "CacheStats",
+    "ClassMetrics",
+    "SearchMetrics",
     "JECBConfig",
     "JECBPartitioner",
     "JECBResult",
     "JoinPathEvaluator",
+    "SnapshotIndex",
     "ClassResult",
     "Phase2Config",
     "partition_class",

@@ -137,18 +137,26 @@ class AttributeLattice:
 
         When two attributes are compatible the coarser one is kept
         (Phase 3, step 1); for equal granularity the first seen wins.
+
+        A new attribute may be coarser than *several* kept entries at once
+        (they were pairwise incompatible but all finer than it), so
+        admission removes every kept entry the newcomer dominates rather
+        than replacing just the first — otherwise the result can keep a
+        compatible pair and violate Property 2's reduction.
         """
         kept: list[Attr] = []
         for attr in attrs:
-            replaced = False
-            for i, existing in enumerate(kept):
-                relation = self.compare(existing, attr)
-                if relation is None:
-                    continue
-                if relation == SECOND_COARSER:
-                    kept[i] = attr
-                replaced = True
-                break
-            if not replaced:
-                kept.append(attr)
+            dominated = any(
+                self.compare(existing, attr) in (EQUAL, FIRST_COARSER)
+                for existing in kept
+            )
+            if dominated:
+                continue
+            # attr survives: evict everything strictly finer than it.
+            kept = [
+                existing
+                for existing in kept
+                if self.compare(attr, existing) != FIRST_COARSER
+            ]
+            kept.append(attr)
         return kept

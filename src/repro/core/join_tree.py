@@ -19,6 +19,11 @@ from repro.core.path_eval import JoinPathEvaluator
 from repro.trace.events import Trace, TransactionTrace
 
 
+#: Distinct "no value seen yet" marker (root values may legitimately be
+#: any object, including None-adjacent sentinels a caller might pick).
+_NO_VALUE = object()
+
+
 @dataclass(frozen=True)
 class JoinTree:
     """One join path per covered table, all rooted at ``root``."""
@@ -86,11 +91,31 @@ class JoinTree:
     def is_mapping_independent(
         self, trace: Trace, evaluator: JoinPathEvaluator
     ) -> bool:
-        """Definition 7: every transaction maps to exactly one root value."""
+        """Definition 7: every transaction maps to exactly one root value.
+
+        Refutation short-circuits: the scan stops at the first tuple whose
+        root value misses or disagrees, without finishing the transaction
+        or the rest of the trace — one bad Payment transaction refutes a
+        TPC-C tree after a handful of evaluations instead of thousands.
+        """
+        evaluator.mi_tests += 1
+        paths = self.paths
+        sentinel = _NO_VALUE
         for txn in trace:
-            values = self.root_values(txn, evaluator)
-            if values is None or len(values) > 1:
-                return False
+            first = sentinel
+            for table, key in txn.tuples:
+                path = paths.get(table)
+                if path is None:
+                    continue
+                value = evaluator.evaluate(path, key)
+                if value is None or (
+                    first is not sentinel
+                    and value is not first
+                    and value != first
+                ):
+                    evaluator.mi_refuted += 1
+                    return False
+                first = value
         return True
 
     def restrict(self, tables: Iterable[str]) -> "JoinTree":

@@ -1,0 +1,193 @@
+"""Search instrumentation: what the three phases did and how long they took.
+
+The paper's pitch (Tables 1-2) is that JECB's code-based search is cheap
+enough to rerun constantly; :class:`SearchMetrics` makes that claim
+observable on every run. Phase 2 emits one :class:`ClassMetrics` per
+transaction class (wall time, trees examined/pruned, mapping-independence
+tests, evaluator cache behaviour); the partitioner folds them into one
+:class:`SearchMetrics` together with per-phase wall times and Phase 3's
+combination counts.
+
+Everything here is a plain picklable dataclass so per-class metrics
+survive the trip back from :mod:`concurrent.futures` process workers, and
+``merge``/``to_dict`` keep aggregation and reporting trivial.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one bounded cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.hits}/{self.lookups} hits ({self.hit_rate:.1%}), "
+            f"{self.evictions} evicted"
+        )
+
+
+@dataclass
+class ClassMetrics:
+    """What Phase 2 did for one transaction class."""
+
+    class_name: str
+    wall_seconds: float = 0.0
+    trees_examined: int = 0
+    trees_pruned: int = 0
+    mi_tests: int = 0
+    mi_refuted: int = 0
+    path_evaluations: int = 0
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "class_name": self.class_name,
+            "wall_seconds": self.wall_seconds,
+            "trees_examined": self.trees_examined,
+            "trees_pruned": self.trees_pruned,
+            "mi_tests": self.mi_tests,
+            "mi_refuted": self.mi_refuted,
+            "path_evaluations": self.path_evaluations,
+            "cache": self.cache.to_dict(),
+        }
+
+
+@dataclass
+class SearchMetrics:
+    """One run of the three-phase search, aggregated for reporting.
+
+    Attached to :class:`~repro.core.partitioner.JECBResult` as
+    ``result.metrics``; ``summary()`` renders the human-readable block the
+    experiments CLI prints.
+    """
+
+    workers: int = 1
+    parallel: bool = False
+    phase1_seconds: float = 0.0
+    phase2_seconds: float = 0.0
+    phase3_seconds: float = 0.0
+    total_seconds: float = 0.0
+    classes_searched: int = 0
+    trees_examined: int = 0
+    trees_pruned: int = 0
+    mi_tests: int = 0
+    mi_refuted: int = 0
+    path_evaluations: int = 0
+    candidate_attributes: int = 0
+    combinations_evaluated: int = 0
+    evaluator_cache: CacheStats = field(default_factory=CacheStats)
+    per_class: list[ClassMetrics] = field(default_factory=list)
+
+    def add_class(self, metrics: ClassMetrics) -> None:
+        """Fold one class's Phase-2 metrics into the run totals."""
+        self.per_class.append(metrics)
+        self.classes_searched += 1
+        self.trees_examined += metrics.trees_examined
+        self.trees_pruned += metrics.trees_pruned
+        self.mi_tests += metrics.mi_tests
+        self.mi_refuted += metrics.mi_refuted
+        self.path_evaluations += metrics.path_evaluations
+        self.evaluator_cache.merge(metrics.cache)
+
+    def class_metrics(self, name: str) -> ClassMetrics:
+        for metrics in self.per_class:
+            if metrics.class_name == name:
+                return metrics
+        raise KeyError(name)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.evaluator_cache.hit_rate
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "workers": self.workers,
+            "parallel": self.parallel,
+            "phase1_seconds": self.phase1_seconds,
+            "phase2_seconds": self.phase2_seconds,
+            "phase3_seconds": self.phase3_seconds,
+            "total_seconds": self.total_seconds,
+            "classes_searched": self.classes_searched,
+            "trees_examined": self.trees_examined,
+            "trees_pruned": self.trees_pruned,
+            "mi_tests": self.mi_tests,
+            "mi_refuted": self.mi_refuted,
+            "path_evaluations": self.path_evaluations,
+            "candidate_attributes": self.candidate_attributes,
+            "combinations_evaluated": self.combinations_evaluated,
+            "evaluator_cache": self.evaluator_cache.to_dict(),
+            "per_class": [m.to_dict() for m in self.per_class],
+        }
+
+    def summary(self) -> str:
+        mode = f"{self.workers} workers" if self.parallel else "serial"
+        lines = [
+            f"search: {self.total_seconds:.2f}s total "
+            f"(phase1 {self.phase1_seconds:.2f}s, "
+            f"phase2 {self.phase2_seconds:.2f}s [{mode}], "
+            f"phase3 {self.phase3_seconds:.2f}s)",
+            f"phase2: {self.classes_searched} classes, "
+            f"{self.trees_examined} trees examined, "
+            f"{self.trees_pruned} pruned, "
+            f"{self.mi_tests} MI tests ({self.mi_refuted} refuted)",
+            f"phase3: {self.candidate_attributes} candidate attributes, "
+            f"{self.combinations_evaluated} combinations evaluated",
+            f"evaluator cache: {self.evaluator_cache}",
+        ]
+        slowest = sorted(
+            self.per_class, key=lambda m: m.wall_seconds, reverse=True
+        )[:3]
+        for metrics in slowest:
+            lines.append(
+                f"  {metrics.class_name}: {metrics.wall_seconds:.2f}s, "
+                f"{metrics.trees_examined} trees, "
+                f"cache {metrics.cache.hit_rate:.1%}"
+            )
+        return "\n".join(lines)
+
+
+class Stopwatch:
+    """Tiny ``perf_counter`` context manager for phase timing."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.seconds = time.perf_counter() - self._start

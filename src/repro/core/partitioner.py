@@ -4,19 +4,41 @@ Inputs (Section 3): a workload trace, the database schema, the SQL code of
 the transaction classes, and the desired number of partitions. Output: a
 :class:`~repro.core.solution.DatabasePartitioning` plus full diagnostics
 (per-class solutions for Table 3, the final per-table placements for
-Table 4, and search-space statistics for Example 10).
+Table 4, search-space statistics for Example 10, and a
+:class:`~repro.core.metrics.SearchMetrics` block for the run itself).
+
+Phase 2 treats every transaction class as an independent search problem —
+own SQL analysis, own trace stream, own tree search — so
+``JECBConfig(workers=N)`` fans the classes out over a
+:class:`concurrent.futures.ProcessPoolExecutor`. The per-class work unit
+is picklable (class name + trace stream in, :class:`ClassResult` out);
+the heavyweight shared state (database, catalog, schema) reaches workers
+through fork inheritance when available and a pickled initializer
+otherwise. Results are gathered in deterministic class order, so any
+worker count produces a bit-identical partitioning.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, fields
 
 from repro.procedures.procedure import ProcedureCatalog
+from repro.schema.database import DatabaseSchema
 from repro.storage.database import Database
 from repro.trace.events import Trace
 from repro.trace.splitter import split_by_class
 from repro.trace.stats import TableUsage, classify_tables
-from repro.core.phase2 import ClassResult, Phase2Config, partition_class
+from repro.core.metrics import SearchMetrics, Stopwatch
+from repro.core.path_eval import SnapshotIndex
+from repro.core.phase2 import (
+    ClassResult,
+    Phase2Config,
+    _config_from_dict,
+    partition_class,
+)
 from repro.core.phase3 import Phase3Config, Phase3Result, combine
 from repro.core.solution import DatabasePartitioning
 from repro.evaluation.resources import ResourceMeter, ResourceUsage
@@ -31,6 +53,49 @@ class JECBConfig:
     phase2: Phase2Config = field(default_factory=Phase2Config)
     phase3: Phase3Config = field(default_factory=Phase3Config)
     meter_resources: bool = False
+    #: Phase-2 parallelism: ``1`` keeps the deterministic serial path,
+    #: ``N > 1`` uses N process workers, ``"auto"`` uses the CPU count.
+    #: Any value yields a bit-identical partitioning.
+    workers: int | str = 1
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form (nested phase configs become dicts)."""
+        return {
+            "num_partitions": self.num_partitions,
+            "read_mostly_threshold": self.read_mostly_threshold,
+            "phase2": self.phase2.to_dict(),
+            "phase3": self.phase3.to_dict(),
+            "meter_resources": self.meter_resources,
+            "workers": self.workers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict | None) -> "JECBConfig":
+        """Inverse of :meth:`to_dict`; accepts partial dicts.
+
+        ``phase2``/``phase3`` values may be dicts or config instances.
+        Unknown keys raise ``ValueError`` so CLI typos fail loudly.
+        """
+        if data is None:
+            return cls()
+        if isinstance(data, cls):
+            return data
+        data = dict(data)
+        phase2 = Phase2Config.from_dict(data.pop("phase2", None))
+        phase3 = Phase3Config.from_dict(data.pop("phase3", None))
+        config = _config_from_dict(cls, data)
+        config.phase2 = phase2
+        config.phase3 = phase3
+        return config
+
+    def resolved_workers(self) -> int:
+        """The effective worker count (``"auto"`` -> CPU count)."""
+        workers = self.workers
+        if workers == "auto":
+            return max(os.cpu_count() or 1, 1)
+        if isinstance(workers, str):
+            workers = int(workers)
+        return max(int(workers), 1)
 
 
 @dataclass
@@ -42,6 +107,7 @@ class JECBResult:
     class_results: list[ClassResult]
     phase3: Phase3Result
     resources: ResourceUsage | None = None
+    metrics: SearchMetrics | None = None
 
     @property
     def cost(self) -> float:
@@ -61,6 +127,55 @@ class JECBResult:
     def placements_table(self) -> str:
         """Table-4-style listing of the final per-table placements."""
         return self.partitioning.describe()
+
+
+# ----------------------------------------------------------------------
+# Phase-2 process workers
+# ----------------------------------------------------------------------
+@dataclass
+class _Phase2Context:
+    """Everything a worker needs beyond the per-class work unit.
+
+    Picklable as a whole; under ``fork`` it is inherited through the
+    module global instead and never serialized.
+    """
+
+    schema: DatabaseSchema
+    catalog: ProcedureCatalog
+    database: Database
+    replicated: set[str]
+    num_partitions: int
+    config: Phase2Config
+
+
+_PHASE2_CONTEXT: _Phase2Context | None = None
+_WORKER_SNAPSHOTS: SnapshotIndex | None = None
+
+
+def _set_phase2_context(context: _Phase2Context) -> None:
+    global _PHASE2_CONTEXT, _WORKER_SNAPSHOTS
+    _PHASE2_CONTEXT = context
+    _WORKER_SNAPSHOTS = None
+
+
+def _phase2_worker(task: tuple[str, Trace]) -> ClassResult:
+    """Process-pool entry point: search one transaction class."""
+    global _WORKER_SNAPSHOTS
+    context = _PHASE2_CONTEXT
+    assert context is not None, "phase-2 worker context not initialized"
+    if _WORKER_SNAPSHOTS is None:
+        _WORKER_SNAPSHOTS = SnapshotIndex(context.database)
+    name, stream = task
+    return partition_class(
+        context.schema,
+        context.catalog.get(name),
+        stream,
+        context.replicated,
+        context.database,
+        context.num_partitions,
+        context.config,
+        snapshots=_WORKER_SNAPSHOTS,
+    )
 
 
 class JECBPartitioner:
@@ -88,49 +203,112 @@ class JECBPartitioner:
 
     def _run(self, training_trace: Trace) -> JECBResult:
         config = self.config
-
-        # Phase 1: classify tables and split the trace per class.
-        usage = classify_tables(
-            training_trace, self.schema, config.read_mostly_threshold
-        )
-        replicated = {t for t, u in usage.items() if u.replicated}
-        partitioned = [
-            t for t, u in usage.items() if u is TableUsage.PARTITIONED
-        ]
-        streams = split_by_class(training_trace)
-
-        # Phase 2: per-class total and partial solutions.
-        class_results: list[ClassResult] = []
-        for name in sorted(streams):
-            if name not in self.catalog:
-                continue
-            procedure = self.catalog.get(name)
-            class_results.append(
-                partition_class(
-                    self.schema,
-                    procedure,
-                    streams[name],
-                    replicated,
-                    self.database,
-                    config.num_partitions,
-                    config.phase2,
+        metrics = SearchMetrics()
+        with Stopwatch() as total_clock:
+            # Phase 1: classify tables and split the trace per class.
+            with Stopwatch() as clock:
+                usage = classify_tables(
+                    training_trace, self.schema, config.read_mostly_threshold
                 )
-            )
+                replicated = {t for t, u in usage.items() if u.replicated}
+                partitioned = [
+                    t for t, u in usage.items() if u is TableUsage.PARTITIONED
+                ]
+                streams = split_by_class(training_trace)
+            metrics.phase1_seconds = clock.seconds
 
-        # Phase 3: combine into the global solution.
-        phase3 = combine(
-            class_results,
-            partitioned,
-            sorted(replicated),
-            self.schema,
-            self.database,
-            training_trace,
-            config.num_partitions,
-            config.phase3,
-        )
+            # Phase 2: per-class total and partial solutions.
+            tasks = [
+                (name, streams[name])
+                for name in sorted(streams)
+                if name in self.catalog
+            ]
+            with Stopwatch() as clock:
+                class_results = self._run_phase2(tasks, replicated, metrics)
+            metrics.phase2_seconds = clock.seconds
+            for result in class_results:
+                if result.metrics is not None:
+                    metrics.add_class(result.metrics)
+
+            # Phase 3: combine into the global solution.
+            with Stopwatch() as clock:
+                phase3 = combine(
+                    class_results,
+                    partitioned,
+                    sorted(replicated),
+                    self.schema,
+                    self.database,
+                    training_trace,
+                    config.num_partitions,
+                    config.phase3,
+                )
+            metrics.phase3_seconds = clock.seconds
+            metrics.candidate_attributes = len(phase3.candidate_attributes)
+            metrics.combinations_evaluated = phase3.reduced_search_space
+        metrics.total_seconds = total_clock.seconds
         return JECBResult(
             partitioning=phase3.best,
             table_usage=usage,
             class_results=class_results,
             phase3=phase3,
+            metrics=metrics,
         )
+
+    def _run_phase2(
+        self,
+        tasks: list[tuple[str, Trace]],
+        replicated: set[str],
+        metrics: SearchMetrics,
+    ) -> list[ClassResult]:
+        """Search all classes, serially or over a process pool.
+
+        Both paths process *tasks* in the same (sorted) order and return
+        results in that order, so the downstream Phase-3 combination — and
+        therefore the final partitioning — is identical for any worker
+        count.
+        """
+        config = self.config
+        workers = min(config.resolved_workers(), max(len(tasks), 1))
+        metrics.workers = workers
+
+        if workers <= 1 or len(tasks) <= 1:
+            snapshots = SnapshotIndex(self.database)
+            return [
+                partition_class(
+                    self.schema,
+                    self.catalog.get(name),
+                    stream,
+                    replicated,
+                    self.database,
+                    config.num_partitions,
+                    config.phase2,
+                    snapshots=snapshots,
+                )
+                for name, stream in tasks
+            ]
+
+        metrics.parallel = True
+        context = _Phase2Context(
+            schema=self.schema,
+            catalog=self.catalog,
+            database=self.database,
+            replicated=replicated,
+            num_partitions=config.num_partitions,
+            config=config.phase2,
+        )
+        if "fork" in multiprocessing.get_all_start_methods():
+            # Fork inherits the parent's memory: publish the context as a
+            # module global so the database is never pickled.
+            mp_context = multiprocessing.get_context("fork")
+            _set_phase2_context(context)
+            pool_kwargs: dict = {}
+        else:  # pragma: no cover - non-fork platforms (Windows/macOS spawn)
+            mp_context = multiprocessing.get_context()
+            pool_kwargs = {
+                "initializer": _set_phase2_context,
+                "initargs": (context,),
+            }
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=mp_context, **pool_kwargs
+        ) as pool:
+            return list(pool.map(_phase2_worker, tasks))

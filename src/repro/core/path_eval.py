@@ -6,23 +6,85 @@ against the database, fetching rows only when a needed column is not
 already known — so paths that stay inside the primary key (e.g. TPC-C's
 ``NO_W_ID``) still evaluate for tuples that have since been deleted.
 
-Results are memoized per (path, key): mapping-independence testing and cost
-evaluation revisit the same tuples constantly.
+Results are memoized per (path, key) in a bounded LRU cache with hit/miss
+counters: mapping-independence testing and cost evaluation revisit the
+same tuples constantly, and the counters feed
+:class:`~repro.core.metrics.SearchMetrics`. Snapshot lookups go through a
+:class:`SnapshotIndex`, a per-table materialized live+tombstone index that
+can be shared across evaluators (Phase 2 creates one per search worker).
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-from repro.core.join_path import JoinPath, node_table
+from repro.core.join_path import JoinPath
+from repro.core.metrics import CacheStats
 from repro.storage.database import Database
+from repro.storage.table import Table
 
 
-class JoinPathEvaluator:
-    """Evaluates join paths against one :class:`Database`."""
+class SnapshotIndex:
+    """Shared, lazily built per-table snapshot lookups for one database.
+
+    The trace is collected before partitioning starts, so the database is
+    static during the search: materializing each table's merged
+    live+tombstone view once is safe and turns every snapshot probe into a
+    single dict access. One index is shared by all evaluators of a search
+    worker, so TPC-C's ten classes don't build ten copies.
+    """
 
     def __init__(self, database: Database) -> None:
         self.database = database
+        self._tables: dict[str, Table] = {}
+        self._snapshots: dict[str, tuple[int, dict[tuple, dict[str, Any]]]] = {}
+
+    def table(self, name: str) -> Table:
+        """Cached table handle (skips the database's error-checked lookup)."""
+        table = self._tables.get(name)
+        if table is None:
+            table = self.database.table(name)
+            self._tables[name] = table
+        return table
+
+    def snapshot(self, table_name: str, key: tuple) -> dict[str, Any] | None:
+        """Row snapshot (live or tombstone) for *key*, or ``None``.
+
+        The materialized view is rebuilt whenever the table's mutation
+        counter moved, so long-lived holders (the router) stay correct if
+        the database keeps changing under them.
+        """
+        table = self.table(table_name)
+        cached = self._snapshots.get(table_name)
+        if cached is None or cached[0] != table.version:
+            cached = (table.version, table.snapshot_items())
+            self._snapshots[table_name] = cached
+        return cached[1].get(key)
+
+
+class JoinPathEvaluator:
+    """Evaluates join paths against one :class:`Database`.
+
+    ``cache_size`` bounds the (path, key) memo table; ``None`` means
+    unbounded. Eviction is least-recently-used. ``cache_stats`` counts
+    hits/misses/evictions; ``mi_tests``/``mi_refuted`` are incremented by
+    :meth:`JoinTree.is_mapping_independent` so Phase 2 can report how much
+    of the search each class consumed.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        cache_size: int | None = None,
+        snapshots: SnapshotIndex | None = None,
+    ) -> None:
+        self.database = database
+        self.snapshots = snapshots or SnapshotIndex(database)
+        self.cache_size = cache_size
+        self.cache_stats = CacheStats()
+        self.mi_tests = 0
+        self.mi_refuted = 0
+        self.evaluations = 0
         self._cache: dict[tuple[JoinPath, tuple], Any] = {}
 
     def evaluate(self, path: JoinPath, key: tuple) -> Any:
@@ -32,17 +94,29 @@ class JoinPathEvaluator:
         ``None`` when the walk cannot complete (missing row, NULL foreign
         key) — callers treat that as "no root value".
         """
+        self.evaluations += 1
         key = tuple(key)
         cache_key = (path, key)
-        if cache_key in self._cache:
-            return self._cache[cache_key]
+        cache = self._cache
+        if cache_key in cache:
+            self.cache_stats.hits += 1
+            if self.cache_size is not None:
+                # LRU: re-insert at the back of the (ordered) dict.
+                value = cache.pop(cache_key)
+                cache[cache_key] = value
+                return value
+            return cache[cache_key]
+        self.cache_stats.misses += 1
         value = self._walk(path, key)
-        self._cache[cache_key] = value
+        if self.cache_size is not None and len(cache) >= self.cache_size:
+            cache.pop(next(iter(cache)))
+            self.cache_stats.evictions += 1
+        cache[cache_key] = value
         return value
 
     def _walk(self, path: JoinPath, key: tuple) -> Any:
         source_table = path.source_table
-        table = self.database.table(source_table)
+        table = self.snapshots.table(source_table)
         pk_columns = table.schema.primary_key
         if len(pk_columns) != len(key):
             return None
@@ -72,12 +146,12 @@ class JoinPathEvaluator:
                 values = tuple(known.get(c) for c in fk.columns)
                 if any(v is None for v in values):
                     return None
-                ref_table = self.database.table(fk.ref_table)
+                ref_table = self.snapshots.table(fk.ref_table)
                 matches = ref_table.lookup(fk.ref_columns, values)
                 if matches:
                     row = matches[0]
                 elif tuple(fk.ref_columns) == ref_table.schema.primary_key:
-                    row = ref_table.get_snapshot(values)
+                    row = self.snapshots.snapshot(fk.ref_table, values)
                     if row is None:
                         return None
                 else:
@@ -98,11 +172,11 @@ class JoinPathEvaluator:
     def _fetch_current(
         self, table_name: str, known: dict[str, Any]
     ) -> dict[str, Any] | None:
-        table = self.database.table(table_name)
+        table = self.snapshots.table(table_name)
         pk = table.schema.primary_key
         if not all(c in known for c in pk):
             return None
-        return table.get_snapshot(tuple(known[c] for c in pk))
+        return self.snapshots.snapshot(table_name, tuple(known[c] for c in pk))
 
     def clear_cache(self) -> None:
         self._cache.clear()

@@ -13,7 +13,8 @@ For each homogeneous workload the pipeline is:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, fields
 
 from repro.schema.attribute import Attr
 from repro.schema.database import DatabaseSchema
@@ -24,7 +25,8 @@ from repro.trace.events import Trace
 from repro.trace.splitter import train_test_split
 from repro.core.join_graph import JoinGraph
 from repro.core.join_tree import JoinTree, prune_compatible_trees
-from repro.core.path_eval import JoinPathEvaluator
+from repro.core.metrics import ClassMetrics
+from repro.core.path_eval import JoinPathEvaluator, SnapshotIndex
 from repro.core.solution import PARTIAL, TOTAL, ClassSolution
 from repro.core.statistics import evaluate_fallback
 
@@ -39,6 +41,33 @@ class Phase2Config:
     mine_partial_solutions: bool = True
     statistics_fallback: bool = True
     fallback_seed: int = 7
+    #: Bound on the join-path evaluator's (path, key) memo table; ``None``
+    #: disables eviction. The default comfortably holds every tuple of the
+    #: scaled-down benchmark bundles while keeping worst-case memory flat.
+    evaluator_cache_size: int | None = 1 << 20
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict | None) -> "Phase2Config":
+        return _config_from_dict(cls, data)
+
+
+def _config_from_dict(cls, data):
+    """Build a config dataclass from a (partial) plain dict, strictly."""
+    if data is None:
+        return cls()
+    if isinstance(data, cls):
+        return data
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} keys: {sorted(unknown)} "
+            f"(known: {sorted(known)})"
+        )
+    return cls(**data)
 
 
 @dataclass
@@ -52,6 +81,7 @@ class ClassResult:
     partial_solutions: list[ClassSolution] = field(default_factory=list)
     read_only: bool = False
     trees_examined: int = 0
+    metrics: ClassMetrics | None = None
 
     @property
     def non_partitionable(self) -> bool:
@@ -230,9 +260,17 @@ def partition_class(
     database: Database,
     num_partitions: int,
     config: Phase2Config | None = None,
+    snapshots: SnapshotIndex | None = None,
 ) -> ClassResult:
-    """Find total and partial solutions for one transaction class."""
+    """Find total and partial solutions for one transaction class.
+
+    *snapshots* optionally shares one materialized per-table snapshot index
+    across classes (the serial partitioner passes one for the whole run; a
+    process worker builds one per process).
+    """
+    started = time.perf_counter()
     config = config or Phase2Config()
+    metrics = ClassMetrics(procedure.name)
     analysis = analyze_procedure(procedure.statements, schema)
     graph = JoinGraph.from_analysis(
         schema,
@@ -240,12 +278,51 @@ def partition_class(
         replicated,
         include_implicit=config.include_implicit_joins,
     )
-    result = ClassResult(procedure.name, analysis, graph)
+    result = ClassResult(procedure.name, analysis, graph, metrics=metrics)
     if not graph.partitioned_tables:
         result.read_only = True
+        metrics.wall_seconds = time.perf_counter() - started
         return result
 
-    evaluator = JoinPathEvaluator(database)
+    evaluator = JoinPathEvaluator(
+        database,
+        cache_size=config.evaluator_cache_size,
+        snapshots=snapshots,
+    )
+    try:
+        return _search_class(
+            schema, procedure, class_trace, database,
+            num_partitions, config, result, evaluator,
+        )
+    finally:
+        metrics.wall_seconds = time.perf_counter() - started
+        metrics.trees_examined = result.trees_examined
+        metrics.mi_tests = evaluator.mi_tests
+        metrics.mi_refuted = evaluator.mi_refuted
+        metrics.path_evaluations = evaluator.evaluations
+        metrics.cache = evaluator.cache_stats
+
+
+def _pruned(metrics: ClassMetrics, trees: list[JoinTree]) -> list[JoinTree]:
+    """prune_compatible_trees with the drop count folded into metrics."""
+    kept = prune_compatible_trees(trees)
+    metrics.trees_pruned += len(trees) - len(kept)
+    return kept
+
+
+def _search_class(
+    schema: DatabaseSchema,
+    procedure: StoredProcedure,
+    class_trace: Trace,
+    database: Database,
+    num_partitions: int,
+    config: Phase2Config,
+    result: ClassResult,
+    evaluator: JoinPathEvaluator,
+) -> ClassResult:
+    graph = result.graph
+    metrics = result.metrics
+    assert metrics is not None
     roots = graph.find_roots()
 
     if roots:
@@ -262,14 +339,14 @@ def partition_class(
                     mi_trees.append(tree)
         result.trees_examined = len(examined)
         mi_trees = list(dict.fromkeys(mi_trees))  # drop exact duplicates
-        mi_trees = prune_compatible_trees(mi_trees)
+        mi_trees = _pruned(metrics, mi_trees)
         result.total_solutions = [
             ClassSolution(procedure.name, tree, TOTAL, None, True)
             for tree in mi_trees
         ]
         if result.total_solutions and config.mine_partial_solutions:
             partial_trees = _mine_partials(mi_trees, class_trace, evaluator)
-            partial_trees = prune_compatible_trees(partial_trees)
+            partial_trees = _pruned(metrics, partial_trees)
             result.partial_solutions = [
                 ClassSolution(procedure.name, tree, PARTIAL, None, True)
                 for tree in partial_trees
@@ -304,7 +381,7 @@ def partition_class(
                         )
                     )
                 partial_trees = list(dict.fromkeys(partial_trees))
-                partial_trees = prune_compatible_trees(partial_trees)
+                partial_trees = _pruned(metrics, partial_trees)
                 result.partial_solutions = [
                     ClassSolution(procedure.name, tree, PARTIAL, None, True)
                     for tree in partial_trees
@@ -321,7 +398,7 @@ def partition_class(
                 result.trees_examined += 1
                 if tree.is_mapping_independent(class_trace, evaluator):
                     partial_trees.append(tree)
-    partial_trees = prune_compatible_trees(partial_trees)
+    partial_trees = _pruned(metrics, partial_trees)
     result.partial_solutions = [
         ClassSolution(procedure.name, tree, PARTIAL, None, True)
         for tree in partial_trees

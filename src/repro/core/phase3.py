@@ -17,7 +17,8 @@ handful of candidates:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, fields
 
 from repro.schema.attribute import Attr
 from repro.schema.database import DatabaseSchema
@@ -32,7 +33,7 @@ from repro.core.compat import (
 from repro.core.join_path import JoinPath, paths_compatible
 from repro.core.mapping import HashMapping, MappingFunction
 from repro.core.pathfinder import shortest_path
-from repro.core.phase2 import ClassResult
+from repro.core.phase2 import ClassResult, _config_from_dict
 from repro.core.solution import DatabasePartitioning, TableSolution
 from repro.evaluation.evaluator import CostReport, PartitioningEvaluator
 
@@ -55,6 +56,13 @@ class CandidateEntry:
 @dataclass
 class Phase3Config:
     max_combinations_per_attr: int = 64
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict | None) -> "Phase3Config":
+        return _config_from_dict(cls, data)
 
 
 @dataclass
@@ -79,6 +87,8 @@ class Phase3Result:
     evaluated: list[EvaluatedCombination]
     naive_search_space: int
     reduced_search_space: int
+    #: wall-clock seconds of the whole combine step (instrumentation)
+    wall_seconds: float = 0.0
 
     def summary(self) -> str:
         lines = [
@@ -223,6 +233,7 @@ def combine(
     config: Phase3Config | None = None,
 ) -> Phase3Result:
     """Run the full Phase-3 search and return the best global solution."""
+    started = time.perf_counter()
     config = config or Phase3Config()
     lattice = AttributeLattice(schema)
     per_table = harvest_entries(class_results)
@@ -311,4 +322,5 @@ def combine(
         evaluated=evaluated,
         naive_search_space=naive_space,
         reduced_search_space=len(evaluated),
+        wall_seconds=time.perf_counter() - started,
     )

@@ -4,12 +4,19 @@ One object wires the whole experiment together: generate (or accept) a
 workload bundle, split its trace into training and testing halves, run any
 number of partitioners on the training half, and score every resulting
 partitioning on the testing half — with optional resource metering.
+
+Partitioners are looked up in an **algorithm registry**:
+``experiment.run("jecb")``, ``experiment.run("schism", coverage=0.5)``,
+``experiment.run("horticulture")``. New algorithms plug in with
+:func:`register_algorithm` without touching this class; the historical
+``run_jecb``/``run_schism``/``run_horticulture`` methods are thin wrappers
+over the registry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 from repro.core.partitioner import JECBConfig, JECBPartitioner
 from repro.core.solution import DatabasePartitioning
@@ -24,6 +31,24 @@ from repro.trace.events import Trace
 from repro.trace.splitter import subsample, train_test_split
 from repro.workloads.base import WorkloadBundle
 
+#: An algorithm adapter: given the experiment, an optional config object
+#: (or plain dict) and adapter-specific keyword arguments, return the
+#: default run label and a thunk producing the partitioning. The thunk is
+#: what gets metered, so adapters should defer all real work into it.
+AlgorithmAdapter = Callable[..., tuple[str, Callable[[], DatabasePartitioning]]]
+
+_ALGORITHMS: dict[str, AlgorithmAdapter] = {}
+
+
+def register_algorithm(name: str, adapter: AlgorithmAdapter) -> None:
+    """Register (or replace) a partitioning algorithm under *name*."""
+    _ALGORITHMS[name.lower()] = adapter
+
+
+def registered_algorithms() -> list[str]:
+    """Names currently in the registry (sorted)."""
+    return sorted(_ALGORITHMS)
+
 
 @dataclass
 class ExperimentRun:
@@ -33,6 +58,9 @@ class ExperimentRun:
     partitioning: DatabasePartitioning
     report: CostReport
     resources: ResourceUsage | None = None
+    #: the partitioner's full result object (e.g. JECBResult), when the
+    #: algorithm adapter exposes one — carries diagnostics like metrics
+    detail: Any = None
 
     @property
     def cost(self) -> float:
@@ -54,7 +82,34 @@ class PartitioningExperiment:
         self.evaluator = PartitioningEvaluator(self.bundle.database)
 
     # ------------------------------------------------------------------
-    # partitioner runners
+    # registry-driven runner
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        algorithm: str,
+        config: Any = None,
+        name: str | None = None,
+        meter: bool = False,
+        **kwargs: Any,
+    ) -> ExperimentRun:
+        """Run the registered *algorithm* and score its partitioning.
+
+        *config* may be the algorithm's config object or a plain dict
+        (adapters convert); extra keyword arguments are adapter-specific
+        (e.g. ``coverage=`` for Schism's trace subsampling).
+        """
+        try:
+            adapter = _ALGORITHMS[algorithm.lower()]
+        except KeyError:
+            raise KeyError(
+                f"unknown algorithm {algorithm!r}; "
+                f"registered: {registered_algorithms()}"
+            ) from None
+        label, produce = adapter(self, config, **kwargs)
+        return self._run(name or label, produce, meter)
+
+    # ------------------------------------------------------------------
+    # historical wrappers (kept for existing tests and examples)
     # ------------------------------------------------------------------
     def run_jecb(
         self,
@@ -62,10 +117,7 @@ class PartitioningExperiment:
         name: str = "jecb",
         meter: bool = False,
     ) -> ExperimentRun:
-        partitioner = JECBPartitioner(
-            self.bundle.database, self.bundle.catalog, config
-        )
-        return self._run(name, lambda: partitioner.run(self.training_trace).partitioning, meter)
+        return self.run("jecb", config, name=name, meter=meter)
 
     def run_schism(
         self,
@@ -74,10 +126,9 @@ class PartitioningExperiment:
         name: str | None = None,
         meter: bool = False,
     ) -> ExperimentRun:
-        partitioner = SchismPartitioner(self.bundle.database, config)
-        trace = subsample(self.training_trace, coverage)
-        label = name or f"schism-{coverage:.0%}"
-        return self._run(label, lambda: partitioner.run(trace).partitioning, meter)
+        return self.run(
+            "schism", config, name=name, meter=meter, coverage=coverage
+        )
 
     def run_horticulture(
         self,
@@ -85,10 +136,7 @@ class PartitioningExperiment:
         name: str = "horticulture",
         meter: bool = False,
     ) -> ExperimentRun:
-        partitioner = HorticulturePartitioner(
-            self.bundle.database, self.bundle.catalog, config
-        )
-        return self._run(name, lambda: partitioner.run(self.training_trace).partitioning, meter)
+        return self.run("horticulture", config, name=name, meter=meter)
 
     def run_fixed(
         self, partitioning: DatabasePartitioning, name: str | None = None
@@ -105,12 +153,13 @@ class PartitioningExperiment:
         resources = None
         if meter:
             with ResourceMeter() as meter_ctx:
-                partitioning = produce()
+                produced = produce()
             resources = meter_ctx.usage
         else:
-            partitioning = produce()
+            produced = produce()
+        partitioning, detail = _unwrap(produced)
         report = self.evaluator.evaluate(partitioning, self.testing_trace)
-        run = ExperimentRun(name, partitioning, report, resources)
+        run = ExperimentRun(name, partitioning, report, resources, detail)
         self.runs.append(run)
         return run
 
@@ -126,3 +175,70 @@ class PartitioningExperiment:
                 line += f"  ({run.resources})"
             lines.append(line)
         return "\n".join(lines)
+
+
+def _unwrap(produced: Any) -> tuple[DatabasePartitioning, Any]:
+    """Accept either a bare partitioning or a result object carrying one."""
+    if isinstance(produced, DatabasePartitioning):
+        return produced, None
+    partitioning = getattr(produced, "partitioning", None)
+    if isinstance(partitioning, DatabasePartitioning):
+        return partitioning, produced
+    raise TypeError(
+        f"algorithm produced {type(produced).__name__}, expected a "
+        "DatabasePartitioning or a result object with a .partitioning"
+    )
+
+
+# ----------------------------------------------------------------------
+# built-in algorithm adapters
+# ----------------------------------------------------------------------
+def _coerce_config(config: Any, cls: type) -> Any:
+    """dict/None/instance -> config instance (JECB uses its own from_dict)."""
+    if config is None:
+        return None
+    if isinstance(config, cls):
+        return config
+    if isinstance(config, dict):
+        if hasattr(cls, "from_dict"):
+            return cls.from_dict(config)
+        return cls(**config)
+    raise TypeError(
+        f"expected {cls.__name__}, dict, or None, got {type(config).__name__}"
+    )
+
+
+def _jecb_adapter(
+    experiment: PartitioningExperiment, config: Any = None
+) -> tuple[str, Callable[[], Any]]:
+    jecb_config = _coerce_config(config, JECBConfig)
+    partitioner = JECBPartitioner(
+        experiment.bundle.database, experiment.bundle.catalog, jecb_config
+    )
+    return "jecb", lambda: partitioner.run(experiment.training_trace)
+
+
+def _schism_adapter(
+    experiment: PartitioningExperiment,
+    config: Any = None,
+    coverage: float = 1.0,
+) -> tuple[str, Callable[[], Any]]:
+    schism_config = _coerce_config(config, SchismConfig)
+    partitioner = SchismPartitioner(experiment.bundle.database, schism_config)
+    trace = subsample(experiment.training_trace, coverage)
+    return f"schism-{coverage:.0%}", lambda: partitioner.run(trace)
+
+
+def _horticulture_adapter(
+    experiment: PartitioningExperiment, config: Any = None
+) -> tuple[str, Callable[[], Any]]:
+    hc_config = _coerce_config(config, HorticultureConfig)
+    partitioner = HorticulturePartitioner(
+        experiment.bundle.database, experiment.bundle.catalog, hc_config
+    )
+    return "horticulture", lambda: partitioner.run(experiment.training_trace)
+
+
+register_algorithm("jecb", _jecb_adapter)
+register_algorithm("schism", _schism_adapter)
+register_algorithm("horticulture", _horticulture_adapter)

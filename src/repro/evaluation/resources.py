@@ -17,17 +17,35 @@ from dataclasses import dataclass
 
 @dataclass
 class ResourceUsage:
-    """Peak memory (bytes) and CPU time (seconds) of a metered region."""
+    """Peak memory (bytes), CPU and wall time (seconds) of a metered region.
+
+    ``cpu_seconds`` is the *parent* process's CPU time: when the JECB
+    partitioner fans Phase 2 out over worker processes, their CPU burn is
+    not charged here — compare ``wall_seconds`` against the per-phase wall
+    times in :class:`~repro.core.metrics.SearchMetrics` instead.
+    """
 
     peak_memory_bytes: int = 0
     cpu_seconds: float = 0.0
+    wall_seconds: float = 0.0
 
     @property
     def peak_memory_mb(self) -> float:
         return self.peak_memory_bytes / (1024.0 * 1024.0)
 
+    def to_dict(self) -> dict:
+        return {
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "peak_memory_mb": self.peak_memory_mb,
+            "cpu_seconds": self.cpu_seconds,
+            "wall_seconds": self.wall_seconds,
+        }
+
     def __str__(self) -> str:
-        return f"{self.peak_memory_mb:.1f} MB, {self.cpu_seconds:.2f} s CPU"
+        return (
+            f"{self.peak_memory_mb:.1f} MB, {self.cpu_seconds:.2f} s CPU, "
+            f"{self.wall_seconds:.2f} s wall"
+        )
 
 
 class ResourceMeter:
@@ -46,6 +64,7 @@ class ResourceMeter:
     def __init__(self) -> None:
         self.usage = ResourceUsage()
         self._cpu_start = 0.0
+        self._wall_start = 0.0
         self._started_tracing = False
 
     def __enter__(self) -> "ResourceMeter":
@@ -54,10 +73,12 @@ class ResourceMeter:
             self._started_tracing = True
         tracemalloc.reset_peak()
         self._cpu_start = time.process_time()
+        self._wall_start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.usage.cpu_seconds = time.process_time() - self._cpu_start
+        self.usage.wall_seconds = time.perf_counter() - self._wall_start
         _current, peak = tracemalloc.get_traced_memory()
         self.usage.peak_memory_bytes = peak
         if self._started_tracing:

@@ -1,8 +1,23 @@
-"""CLI entry point: ``python -m repro.experiments [name] [--scale S]``."""
+"""CLI entry point: ``python -m repro.experiments [name] [options]``.
+
+Options make runs reproducible from the command line::
+
+    python -m repro.experiments fig5 --scale 0.5 --workers 4
+    python -m repro.experiments fig7 --config jecb.json --no-metrics
+    python -m repro.experiments tpce --config '{"phase2": {"max_trees_per_root": 16}}'
+
+``--config`` accepts a path to a JSON file or an inline JSON object; it is
+a partial :meth:`JECBConfig.from_dict` dict applied under each
+experiment's own partition count. ``--workers`` (an integer or ``auto``)
+controls Phase-2 parallelism. Every JECB run prints its SearchMetrics
+block unless ``--no-metrics`` is given.
+"""
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 
@@ -21,6 +36,36 @@ def _render(headers: list[str], rows: list[list]) -> str:
     for row in rows:
         lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def _parse_workers(value: str) -> int | str:
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--workers expects an integer or 'auto', got {value!r}"
+        ) from None
+
+
+def _load_config(value: str) -> dict:
+    """JSON file path or inline JSON object -> partial JECBConfig dict."""
+    if os.path.exists(value):
+        with open(value, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    else:
+        try:
+            data = json.loads(value)
+        except json.JSONDecodeError as exc:
+            raise argparse.ArgumentTypeError(
+                f"--config expects a JSON file path or inline JSON: {exc}"
+            ) from None
+    if not isinstance(data, dict):
+        raise argparse.ArgumentTypeError(
+            f"--config must decode to a JSON object, got {type(data).__name__}"
+        )
+    return data
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -42,17 +87,41 @@ def main(argv: list[str] | None = None) -> int:
         help="transaction-count multiplier (default 0.5 for a quick run)",
     )
     parser.add_argument("--seed", type=int, default=None, help="override seed")
+    parser.add_argument(
+        "--workers",
+        type=_parse_workers,
+        default=1,
+        help="Phase-2 parallelism: worker count or 'auto' (default 1)",
+    )
+    parser.add_argument(
+        "--config",
+        type=_load_config,
+        default=None,
+        metavar="JSON",
+        help="partial JECBConfig as a JSON file path or inline JSON object",
+    )
+    parser.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="suppress the per-run SearchMetrics summaries",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         runner = EXPERIMENTS[name]
         started = time.time()
-        kwargs = {"scale": args.scale}
+        kwargs = {
+            "scale": args.scale,
+            "workers": args.workers,
+            "jecb_config": args.config,
+            "show_metrics": not args.no_metrics,
+        }
         if args.seed is not None:
             kwargs["seed"] = args.seed
+        print(f"\n== {name} ==")
         headers, rows = runner(**kwargs)
-        print(f"\n== {name} ({time.time() - started:.1f}s) ==")
+        print(f"-- {time.time() - started:.1f}s --")
         print(_render(headers, rows))
     return 0
 

@@ -4,6 +4,11 @@ Each function regenerates one of the paper's results and returns rows of
 plain data; the CLI in :mod:`repro.experiments.__main__` renders them.
 ``scale`` multiplies the default transaction counts, so ``scale=0.25``
 gives a fast smoke run and ``scale=2.0`` a higher-fidelity one.
+
+All runners accept ``workers`` (Phase-2 parallelism) and ``jecb_config``
+(a partial :meth:`JECBConfig.from_dict` dict applied under each
+experiment's own partition count), and with ``show_metrics=True`` print
+every JECB run's :class:`~repro.core.metrics.SearchMetrics` summary.
 """
 
 from __future__ import annotations
@@ -12,7 +17,7 @@ from typing import Callable
 
 from repro.baselines import SchismConfig, SchismPartitioner
 from repro.baselines.published import build_spec_partitioning
-from repro.core import JECBConfig, JECBPartitioner
+from repro.core import JECBConfig, JECBPartitioner, JECBResult
 from repro.evaluation import PartitioningEvaluator
 from repro.trace import subsample, train_test_split
 from repro.workloads.synthetic import (
@@ -31,7 +36,33 @@ def _count(base: int, scale: float) -> int:
     return max(int(base * scale), 100)
 
 
-def figure5(scale: float = 1.0, seed: int = 11) -> tuple[list[str], list[Row]]:
+def _jecb_config(
+    k: int, workers: int | str = 1, overrides: dict | None = None
+) -> JECBConfig:
+    """Experiment JECB config: CLI overrides under the experiment's k."""
+    data = dict(overrides or {})
+    data["num_partitions"] = k
+    data.setdefault("workers", workers)
+    return JECBConfig.from_dict(data)
+
+
+def _report_metrics(
+    label: str, result: JECBResult, show_metrics: bool
+) -> None:
+    if show_metrics and result.metrics is not None:
+        indented = "\n".join(
+            f"    {line}" for line in result.metrics.summary().splitlines()
+        )
+        print(f"  [{label}]\n{indented}")
+
+
+def figure5(
+    scale: float = 1.0,
+    seed: int = 11,
+    workers: int | str = 1,
+    jecb_config: dict | None = None,
+    show_metrics: bool = False,
+) -> tuple[list[str], list[Row]]:
     """TPC-C: % distributed vs partition count, Schism coverages vs JECB."""
     bundle = TpccBenchmark(TpccConfig(warehouses=16)).generate(
         _count(4000, scale), seed=seed
@@ -52,15 +83,24 @@ def figure5(scale: float = 1.0, seed: int = 11) -> tuple[list[str], list[Row]]:
     row = ["jecb"]
     for k in partition_counts:
         result = JECBPartitioner(
-            bundle.database, bundle.catalog, JECBConfig(num_partitions=k)
+            bundle.database,
+            bundle.catalog,
+            _jecb_config(k, workers, jecb_config),
         ).run(train)
+        _report_metrics(f"jecb k={k}", result, show_metrics)
         row.append(f"{evaluator.cost(result.partitioning, test):.1%}")
     rows.append(row)
     headers = ["series"] + [f"k={k}" for k in partition_counts]
     return headers, rows
 
 
-def figure7(scale: float = 1.0, seed: int = 17) -> tuple[list[str], list[Row]]:
+def figure7(
+    scale: float = 1.0,
+    seed: int = 17,
+    workers: int | str = 1,
+    jecb_config: dict | None = None,
+    show_metrics: bool = False,
+) -> tuple[list[str], list[Row]]:
     """JECB vs Schism across benchmarks at k=8 (quick variant)."""
     k = 8
     benchmarks = [
@@ -74,8 +114,11 @@ def figure7(scale: float = 1.0, seed: int = 17) -> tuple[list[str], list[Row]]:
         train, test = train_test_split(bundle.trace, 0.5)
         evaluator = PartitioningEvaluator(bundle.database)
         jecb = JECBPartitioner(
-            bundle.database, bundle.catalog, JECBConfig(num_partitions=k)
+            bundle.database,
+            bundle.catalog,
+            _jecb_config(k, workers, jecb_config),
         ).run(train)
+        _report_metrics(f"jecb {name}", jecb, show_metrics)
         schism = SchismPartitioner(
             bundle.database, SchismConfig(num_partitions=k)
         ).run(subsample(train, 0.5))
@@ -90,7 +133,11 @@ def figure7(scale: float = 1.0, seed: int = 17) -> tuple[list[str], list[Row]]:
 
 
 def tpce_case_study(
-    scale: float = 1.0, seed: int = 3
+    scale: float = 1.0,
+    seed: int = 3,
+    workers: int | str = 1,
+    jecb_config: dict | None = None,
+    show_metrics: bool = False,
 ) -> tuple[list[str], list[Row]]:
     """Section 7.5: per-class costs of JECB vs Horticulture's design."""
     bundle = TpceBenchmark(TpceConfig()).generate(
@@ -99,8 +146,11 @@ def tpce_case_study(
     train, test = train_test_split(bundle.trace, 0.5)
     evaluator = PartitioningEvaluator(bundle.database)
     result = JECBPartitioner(
-        bundle.database, bundle.catalog, JECBConfig(num_partitions=8)
+        bundle.database,
+        bundle.catalog,
+        _jecb_config(8, workers, jecb_config),
     ).run(train)
+    _report_metrics("jecb tpce", result, show_metrics)
     jecb_report = evaluator.evaluate(result.partitioning, test)
     hc_report = evaluator.evaluate(
         build_spec_partitioning(bundle.database.schema, 8, HORTICULTURE_SPEC),
@@ -118,7 +168,13 @@ def tpce_case_study(
     return ["class", "JECB", "Horticulture"], rows
 
 
-def section76(scale: float = 1.0, seed: int = 9) -> tuple[list[str], list[Row]]:
+def section76(
+    scale: float = 1.0,
+    seed: int = 9,
+    workers: int | str = 1,
+    jecb_config: dict | None = None,
+    show_metrics: bool = False,
+) -> tuple[list[str], list[Row]]:
     """Synthetic non-key-join mix sweep at k=100."""
     k = 100
     rows: list[Row] = []
@@ -129,8 +185,13 @@ def section76(scale: float = 1.0, seed: int = 9) -> tuple[list[str], list[Row]]:
         train, test = train_test_split(bundle.trace, 0.5)
         evaluator = PartitioningEvaluator(bundle.database)
         result = JECBPartitioner(
-            bundle.database, bundle.catalog, JECBConfig(num_partitions=k)
+            bundle.database,
+            bundle.catalog,
+            _jecb_config(k, workers, jecb_config),
         ).run(train)
+        _report_metrics(
+            f"jecb {fraction:.0%} schema-respecting", result, show_metrics
+        )
         rows.append(
             [
                 f"{fraction:.0%} schema-respecting",

@@ -26,6 +26,7 @@ class Table:
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
         self._rows: dict[KeyValue, Row] = {}
+        self._version = 0
         self._indexes: dict[tuple[str, ...], dict[KeyValue, list[KeyValue]]] = {}
         # Last version of deleted rows. Join-path evaluation happens after
         # the trace was collected, but the paper's instrumentation captures
@@ -61,6 +62,7 @@ class Table:
             raise StorageError(
                 f"duplicate primary key {key} in table {self.schema.name}"
             )
+        self._version += 1
         self._rows[key] = stored
         self._graveyard.pop(key, None)
         for columns, index in self._indexes.items():
@@ -90,6 +92,7 @@ class Table:
                     bucket.remove(key)
                     if not bucket:
                         del index[old_val]
+        self._version += 1
         row.update(changes)
         for columns, index in self._indexes.items():
             if any(c in changes for c in columns):
@@ -101,6 +104,7 @@ class Table:
         row = self._rows.pop(key, None)
         if row is None:
             raise StorageError(f"no row {key} in table {self.schema.name}")
+        self._version += 1
         self._graveyard[key] = dict(row)
         for columns, index in self._indexes.items():
             val = tuple(row[c] for c in columns)
@@ -125,6 +129,18 @@ class Table:
         if row is not None:
             return row
         return self._graveyard.get(key)
+
+    def snapshot_items(self) -> dict[KeyValue, Row]:
+        """One merged primary-key index over live rows and tombstones.
+
+        Live rows win over tombstones for the same key. The returned dict
+        is a point-in-time materialization — the join-path evaluator builds
+        it once per table and then answers every snapshot lookup with a
+        single dict probe instead of two.
+        """
+        merged: dict[KeyValue, Row] = dict(self._graveyard)
+        merged.update(self._rows)
+        return merged
 
     def ensure_index(self, columns: Sequence[str]) -> None:
         """Create a secondary hash index over *columns* if not present."""
@@ -164,6 +180,15 @@ class Table:
             for row in self._rows.values():
                 if predicate(row):
                     yield row
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumps on insert/update/delete.
+
+        Lets materialized views (:class:`SnapshotIndex`) detect staleness
+        with one integer compare instead of subscribing to changes.
+        """
+        return self._version
 
     def keys(self) -> Iterable[KeyValue]:
         return self._rows.keys()

@@ -1,0 +1,102 @@
+"""Parallel Phase 2 must be bit-identical to the serial path.
+
+The contract of ``JECBConfig(workers=N)`` is that parallelism is purely a
+wall-clock optimization: any worker count yields the same partitioning,
+the same cost, and the same per-class solutions. These tests pin that on
+two real benchmarks (TPC-C and TATP) by comparing every observable output
+of a ``workers=4`` run against the ``workers=1`` baseline.
+"""
+
+import pytest
+
+from repro.core import JECBConfig, JECBPartitioner
+from repro.workloads.tatp import TatpBenchmark, TatpConfig
+from repro.workloads.tpcc import TpccBenchmark, TpccConfig
+
+
+def _run(bundle, workers):
+    partitioner = JECBPartitioner(
+        bundle.database,
+        bundle.catalog,
+        JECBConfig(num_partitions=4, workers=workers),
+    )
+    return partitioner.run(bundle.trace)
+
+
+@pytest.fixture(scope="module")
+def tpcc_bundle():
+    return TpccBenchmark(
+        TpccConfig(warehouses=2, customers_per_district=8)
+    ).generate(300, seed=11)
+
+
+@pytest.fixture(scope="module")
+def tatp_bundle():
+    return TatpBenchmark(TatpConfig(subscribers=120)).generate(400, seed=77)
+
+
+def _assert_identical(serial, parallel):
+    assert parallel.partitioning.describe() == serial.partitioning.describe()
+    assert parallel.cost == serial.cost
+    assert parallel.solutions_table() == serial.solutions_table()
+    assert parallel.table_usage == serial.table_usage
+    names = [r.class_name for r in serial.class_results]
+    assert [r.class_name for r in parallel.class_results] == names
+
+
+class TestSerialParallelEquivalence:
+    @pytest.mark.parametrize("bundle_name", ["tpcc_bundle", "tatp_bundle"])
+    def test_workers4_matches_workers1(self, bundle_name, request):
+        bundle = request.getfixturevalue(bundle_name)
+        serial = _run(bundle, workers=1)
+        parallel = _run(bundle, workers=4)
+        _assert_identical(serial, parallel)
+
+    def test_parallel_flag_reported(self, tatp_bundle):
+        parallel = _run(tatp_bundle, workers=4)
+        assert parallel.metrics.parallel
+        assert parallel.metrics.workers > 1
+
+    def test_serial_flag_reported(self, tatp_bundle):
+        serial = _run(tatp_bundle, workers=1)
+        assert not serial.metrics.parallel
+        assert serial.metrics.workers == 1
+
+    def test_auto_workers_matches_serial(self, tatp_bundle):
+        serial = _run(tatp_bundle, workers=1)
+        auto = _run(tatp_bundle, workers="auto")
+        _assert_identical(serial, auto)
+
+    def test_worker_count_capped_by_task_count(self, tatp_bundle):
+        result = _run(tatp_bundle, workers=64)
+        classes = len(result.class_results)
+        assert result.metrics.workers <= classes
+
+    def test_parallel_metrics_counters_survive_pickling(self, tatp_bundle):
+        serial = _run(tatp_bundle, workers=1)
+        parallel = _run(tatp_bundle, workers=4)
+        assert parallel.metrics.trees_examined == serial.metrics.trees_examined
+        assert parallel.metrics.mi_tests == serial.metrics.mi_tests
+        assert (
+            parallel.metrics.classes_searched
+            == serial.metrics.classes_searched
+        )
+        for sm, pm in zip(serial.metrics.per_class, parallel.metrics.per_class):
+            assert pm.class_name == sm.class_name
+            assert pm.trees_examined == sm.trees_examined
+            assert pm.mi_tests == sm.mi_tests
+
+
+class TestResolvedWorkers:
+    def test_default_is_serial(self):
+        assert JECBConfig().resolved_workers() == 1
+
+    def test_auto_uses_cpu_count(self):
+        assert JECBConfig(workers="auto").resolved_workers() >= 1
+
+    def test_numeric_string_accepted(self):
+        assert JECBConfig(workers="3").resolved_workers() == 3
+
+    def test_floor_of_one(self):
+        assert JECBConfig(workers=0).resolved_workers() == 1
+        assert JECBConfig(workers=-2).resolved_workers() == 1
