@@ -178,6 +178,183 @@ class SearchMetrics:
         return "\n".join(lines)
 
 
+#: Upper bucket bounds of :class:`LatencyHistogram`, in microseconds. The
+#: last bucket is open-ended.
+LATENCY_BUCKETS_US: tuple[float, ...] = (1.0, 10.0, 100.0, 1_000.0, 10_000.0)
+
+
+@dataclass
+class LatencyHistogram:
+    """Log-scale latency histogram (microsecond buckets) with totals.
+
+    Small and mergeable on purpose: the router records one histogram per
+    routing outcome, and batch summaries fold worker histograms together.
+    """
+
+    counts: list[int] = field(
+        default_factory=lambda: [0] * (len(LATENCY_BUCKETS_US) + 1)
+    )
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+    @property
+    def mean_seconds(self) -> float:
+        count = self.count
+        return self.total_seconds / count if count else 0.0
+
+    def observe(self, seconds: float) -> None:
+        micros = seconds * 1e6
+        slot = len(LATENCY_BUCKETS_US)
+        for i, bound in enumerate(LATENCY_BUCKETS_US):
+            if micros < bound:
+                slot = i
+                break
+        self.counts[slot] += 1
+        self.total_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.total_seconds += other.total_seconds
+        self.max_seconds = max(self.max_seconds, other.max_seconds)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
+            "max_seconds": self.max_seconds,
+            "bucket_bounds_us": list(LATENCY_BUCKETS_US),
+            "counts": list(self.counts),
+        }
+
+    def __str__(self) -> str:
+        count = self.count
+        if not count:
+            return "0 calls"
+        return (
+            f"{count} calls, mean {self.mean_seconds * 1e6:.1f}us, "
+            f"max {self.max_seconds * 1e6:.1f}us"
+        )
+
+
+@dataclass
+class RoutingMetrics:
+    """What the online routing tier did: lookup-table lifecycle, write-
+    through maintenance, and per-outcome routing latencies.
+
+    Attached to :class:`~repro.routing.router.RouteSummary` and printed by
+    the experiments CLI alongside :class:`SearchMetrics`, so a run shows
+    both how the partitioning was found *and* how it routes.
+    """
+
+    lookups_built: int = 0
+    lookups_rebuilt: int = 0
+    lookups_evicted: int = 0
+    staleness_detections: int = 0
+    write_through_inserts: int = 0
+    write_through_deletes: int = 0
+    write_through_updates: int = 0
+    write_through_fallbacks: int = 0
+    batch_calls: int = 0
+    batch_memo_hits: int = 0
+    broadcast_causes: dict[str, int] = field(default_factory=dict)
+    latency: dict[str, LatencyHistogram] = field(default_factory=dict)
+
+    @property
+    def write_through_applied(self) -> int:
+        return (
+            self.write_through_inserts
+            + self.write_through_deletes
+            + self.write_through_updates
+        )
+
+    def record_broadcast_cause(self, cause: str) -> None:
+        self.broadcast_causes[cause] = self.broadcast_causes.get(cause, 0) + 1
+
+    def observe(self, outcome: str, seconds: float) -> None:
+        """Record one routed call's latency under its outcome label."""
+        histogram = self.latency.get(outcome)
+        if histogram is None:
+            histogram = LatencyHistogram()
+            self.latency[outcome] = histogram
+        histogram.observe(seconds)
+
+    def merge(self, other: "RoutingMetrics") -> None:
+        self.lookups_built += other.lookups_built
+        self.lookups_rebuilt += other.lookups_rebuilt
+        self.lookups_evicted += other.lookups_evicted
+        self.staleness_detections += other.staleness_detections
+        self.write_through_inserts += other.write_through_inserts
+        self.write_through_deletes += other.write_through_deletes
+        self.write_through_updates += other.write_through_updates
+        self.write_through_fallbacks += other.write_through_fallbacks
+        self.batch_calls += other.batch_calls
+        self.batch_memo_hits += other.batch_memo_hits
+        for cause, count in other.broadcast_causes.items():
+            self.broadcast_causes[cause] = (
+                self.broadcast_causes.get(cause, 0) + count
+            )
+        for outcome, histogram in other.latency.items():
+            mine = self.latency.get(outcome)
+            if mine is None:
+                self.latency[outcome] = LatencyHistogram(
+                    list(histogram.counts),
+                    histogram.total_seconds,
+                    histogram.max_seconds,
+                )
+            else:
+                mine.merge(histogram)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "lookups_built": self.lookups_built,
+            "lookups_rebuilt": self.lookups_rebuilt,
+            "lookups_evicted": self.lookups_evicted,
+            "staleness_detections": self.staleness_detections,
+            "write_through_inserts": self.write_through_inserts,
+            "write_through_deletes": self.write_through_deletes,
+            "write_through_updates": self.write_through_updates,
+            "write_through_fallbacks": self.write_through_fallbacks,
+            "batch_calls": self.batch_calls,
+            "batch_memo_hits": self.batch_memo_hits,
+            "broadcast_causes": dict(self.broadcast_causes),
+            "latency": {k: v.to_dict() for k, v in self.latency.items()},
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"lookups: {self.lookups_built} built, "
+            f"{self.lookups_rebuilt} rebuilt, "
+            f"{self.lookups_evicted} evicted, "
+            f"{self.staleness_detections} staleness detections",
+            f"write-through: {self.write_through_inserts} inserts, "
+            f"{self.write_through_deletes} deletes, "
+            f"{self.write_through_updates} updates, "
+            f"{self.write_through_fallbacks} rebuild fallbacks",
+        ]
+        if self.batch_calls:
+            lines.append(
+                f"batch: {self.batch_calls} calls, "
+                f"{self.batch_memo_hits} memo hits"
+            )
+        if self.broadcast_causes:
+            causes = ", ".join(
+                f"{cause}={count}"
+                for cause, count in sorted(self.broadcast_causes.items())
+            )
+            lines.append(f"broadcast causes: {causes}")
+        for outcome in sorted(self.latency):
+            lines.append(f"  {outcome}: {self.latency[outcome]}")
+        return "\n".join(lines)
+
+
 class Stopwatch:
     """Tiny ``perf_counter`` context manager for phase timing."""
 

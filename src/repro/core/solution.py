@@ -79,6 +79,22 @@ class TableSolution:
     def attribute(self) -> Attr | None:
         return None if self.path is None else self.path.destination
 
+    @property
+    def dependency_tables(self) -> tuple[str, ...]:
+        """Tables whose rows influence :meth:`partition_of`, in path order.
+
+        A replicated table depends only on itself; a partitioned one
+        depends on every table its join path walks through. Materialized
+        views over placements (the router's lookup tables) watch exactly
+        these tables for staleness.
+        """
+        if self.path is None:
+            return (self.table,)
+        seen: dict[str, None] = {self.table: None}
+        for table in self.path.tables:
+            seen.setdefault(table, None)
+        return tuple(seen)
+
     def partition_of(self, key: tuple, evaluator: JoinPathEvaluator) -> int | None:
         """Partition id for the tuple *key*: 0 replicated, None unroutable."""
         if self.path is None:
@@ -139,6 +155,10 @@ class DatabasePartitioning:
         self, table: str, key: tuple, evaluator: JoinPathEvaluator
     ) -> int | None:
         return self.solution_for(table).partition_of(key, evaluator)
+
+    def dependencies_of(self, table: str) -> tuple[str, ...]:
+        """Tables that *table*'s placement reads (see ``TableSolution``)."""
+        return self.solution_for(table).dependency_tables
 
     # ------------------------------------------------------------------
     # constructors

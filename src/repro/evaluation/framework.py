@@ -27,6 +27,7 @@ from repro.baselines.horticulture import (
 from repro.baselines.schism import SchismConfig, SchismPartitioner
 from repro.evaluation.evaluator import CostReport, PartitioningEvaluator
 from repro.evaluation.resources import ResourceMeter, ResourceUsage
+from repro.routing.router import Router, RouteSummary
 from repro.trace.events import Trace
 from repro.trace.splitter import subsample, train_test_split
 from repro.workloads.base import WorkloadBundle
@@ -61,6 +62,8 @@ class ExperimentRun:
     #: the partitioner's full result object (e.g. JECBResult), when the
     #: algorithm adapter exposes one — carries diagnostics like metrics
     detail: Any = None
+    #: router-tier outcomes on the testing trace's call log (when routed)
+    route_summary: RouteSummary | None = None
 
     @property
     def cost(self) -> float:
@@ -90,13 +93,17 @@ class PartitioningExperiment:
         config: Any = None,
         name: str | None = None,
         meter: bool = False,
+        route: bool = False,
         **kwargs: Any,
     ) -> ExperimentRun:
         """Run the registered *algorithm* and score its partitioning.
 
         *config* may be the algorithm's config object or a plain dict
         (adapters convert); extra keyword arguments are adapter-specific
-        (e.g. ``coverage=`` for Schism's trace subsampling).
+        (e.g. ``coverage=`` for Schism's trace subsampling). With
+        ``route=True`` the testing trace's call log is additionally routed
+        through a :class:`~repro.routing.router.Router` over the produced
+        partitioning, and the outcome summary lands on the run.
         """
         try:
             adapter = _ALGORITHMS[algorithm.lower()]
@@ -106,7 +113,7 @@ class PartitioningExperiment:
                 f"registered: {registered_algorithms()}"
             ) from None
         label, produce = adapter(self, config, **kwargs)
-        return self._run(name or label, produce, meter)
+        return self._run(name or label, produce, meter, route)
 
     # ------------------------------------------------------------------
     # historical wrappers (kept for existing tests and examples)
@@ -116,8 +123,9 @@ class PartitioningExperiment:
         config: JECBConfig | None = None,
         name: str = "jecb",
         meter: bool = False,
+        route: bool = False,
     ) -> ExperimentRun:
-        return self.run("jecb", config, name=name, meter=meter)
+        return self.run("jecb", config, name=name, meter=meter, route=route)
 
     def run_schism(
         self,
@@ -139,16 +147,42 @@ class PartitioningExperiment:
         return self.run("horticulture", config, name=name, meter=meter)
 
     def run_fixed(
-        self, partitioning: DatabasePartitioning, name: str | None = None
+        self,
+        partitioning: DatabasePartitioning,
+        name: str | None = None,
+        route: bool = False,
     ) -> ExperimentRun:
         """Score a pre-built partitioning (published solutions, optima)."""
-        return self._run(name or partitioning.name, lambda: partitioning, False)
+        return self._run(
+            name or partitioning.name, lambda: partitioning, False, route
+        )
+
+    def route_calls(
+        self, partitioning: DatabasePartitioning
+    ) -> RouteSummary | None:
+        """Route the testing trace's call log against *partitioning*.
+
+        Returns ``None`` when the testing trace carries no invocation
+        arguments (e.g. traces loaded from pre-argument files). The router
+        is detached from the database again before returning.
+        """
+        calls = self.testing_trace.calls()
+        if not calls:
+            return None
+        router = Router(
+            self.bundle.database, self.bundle.catalog, partitioning
+        )
+        try:
+            return router.route_summary(calls)
+        finally:
+            router.close()
 
     def _run(
         self,
         name: str,
         produce: Callable[[], DatabasePartitioning],
         meter: bool,
+        route: bool = False,
     ) -> ExperimentRun:
         resources = None
         if meter:
@@ -160,6 +194,8 @@ class PartitioningExperiment:
         partitioning, detail = _unwrap(produced)
         report = self.evaluator.evaluate(partitioning, self.testing_trace)
         run = ExperimentRun(name, partitioning, report, resources, detail)
+        if route:
+            run.route_summary = self.route_calls(partitioning)
         self.runs.append(run)
         return run
 
@@ -173,6 +209,12 @@ class PartitioningExperiment:
             line = f"  {run.name:<{width}}  {run.cost:7.1%}"
             if run.resources is not None:
                 line += f"  ({run.resources})"
+            if run.route_summary is not None:
+                line += (
+                    f"  [routed: "
+                    f"{run.route_summary.single_partition_fraction:.1%} "
+                    f"single-partition]"
+                )
             lines.append(line)
         return "\n".join(lines)
 

@@ -10,7 +10,9 @@ Options make runs reproducible from the command line::
 a partial :meth:`JECBConfig.from_dict` dict applied under each
 experiment's own partition count. ``--workers`` (an integer or ``auto``)
 controls Phase-2 parallelism. Every JECB run prints its SearchMetrics
-block unless ``--no-metrics`` is given.
+block unless ``--no-metrics`` is given, and (where an experiment supports
+it) replays the testing call log through the runtime router, printing the
+route summary and RoutingMetrics block, unless ``--no-routing`` is given.
 """
 
 from __future__ import annotations
@@ -105,6 +107,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="suppress the per-run SearchMetrics summaries",
     )
+    parser.add_argument(
+        "--no-routing",
+        action="store_true",
+        help="suppress the router-tier summaries (RoutingMetrics blocks)",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -116,6 +123,7 @@ def main(argv: list[str] | None = None) -> int:
             "workers": args.workers,
             "jecb_config": args.config,
             "show_metrics": not args.no_metrics,
+            "show_routing": not args.no_routing,
         }
         if args.seed is not None:
             kwargs["seed"] = args.seed

@@ -9,6 +9,9 @@ All runners accept ``workers`` (Phase-2 parallelism) and ``jecb_config``
 (a partial :meth:`JECBConfig.from_dict` dict applied under each
 experiment's own partition count), and with ``show_metrics=True`` print
 every JECB run's :class:`~repro.core.metrics.SearchMetrics` summary.
+``show_routing=True`` additionally replays the testing trace's call log
+through the runtime :class:`~repro.routing.Router` and prints the route
+summary plus its :class:`~repro.core.metrics.RoutingMetrics` block.
 """
 
 from __future__ import annotations
@@ -18,8 +21,11 @@ from typing import Callable
 from repro.baselines import SchismConfig, SchismPartitioner
 from repro.baselines.published import build_spec_partitioning
 from repro.core import JECBConfig, JECBPartitioner, JECBResult
+from repro.core.solution import DatabasePartitioning
 from repro.evaluation import PartitioningEvaluator
-from repro.trace import subsample, train_test_split
+from repro.routing import Router
+from repro.trace import Trace, subsample, train_test_split
+from repro.workloads.base import WorkloadBundle
 from repro.workloads.synthetic import (
     SyntheticBenchmark,
     SyntheticConfig,
@@ -56,12 +62,36 @@ def _report_metrics(
         print(f"  [{label}]\n{indented}")
 
 
+def _report_routing(
+    label: str,
+    bundle: WorkloadBundle,
+    partitioning: DatabasePartitioning,
+    test_trace: Trace,
+    show_routing: bool,
+) -> None:
+    """Replay the testing call log through the router and print outcomes."""
+    if not show_routing:
+        return
+    calls = test_trace.calls()
+    if not calls:
+        return
+    router = Router(bundle.database, bundle.catalog, partitioning)
+    try:
+        summary = router.route_summary(calls)
+    finally:
+        router.close()
+    lines = [str(summary)] + summary.metrics.summary().splitlines()
+    indented = "\n".join(f"    {line}" for line in lines)
+    print(f"  [{label} routing]\n{indented}")
+
+
 def figure5(
     scale: float = 1.0,
     seed: int = 11,
     workers: int | str = 1,
     jecb_config: dict | None = None,
     show_metrics: bool = False,
+    show_routing: bool = False,
 ) -> tuple[list[str], list[Row]]:
     """TPC-C: % distributed vs partition count, Schism coverages vs JECB."""
     bundle = TpccBenchmark(TpccConfig(warehouses=16)).generate(
@@ -88,6 +118,10 @@ def figure5(
             _jecb_config(k, workers, jecb_config),
         ).run(train)
         _report_metrics(f"jecb k={k}", result, show_metrics)
+        if k == partition_counts[-1]:
+            _report_routing(
+                f"jecb k={k}", bundle, result.partitioning, test, show_routing
+            )
         row.append(f"{evaluator.cost(result.partitioning, test):.1%}")
     rows.append(row)
     headers = ["series"] + [f"k={k}" for k in partition_counts]
@@ -100,6 +134,7 @@ def figure7(
     workers: int | str = 1,
     jecb_config: dict | None = None,
     show_metrics: bool = False,
+    show_routing: bool = False,
 ) -> tuple[list[str], list[Row]]:
     """JECB vs Schism across benchmarks at k=8 (quick variant)."""
     k = 8
@@ -119,6 +154,9 @@ def figure7(
             _jecb_config(k, workers, jecb_config),
         ).run(train)
         _report_metrics(f"jecb {name}", jecb, show_metrics)
+        _report_routing(
+            f"jecb {name}", bundle, jecb.partitioning, test, show_routing
+        )
         schism = SchismPartitioner(
             bundle.database, SchismConfig(num_partitions=k)
         ).run(subsample(train, 0.5))
@@ -138,6 +176,7 @@ def tpce_case_study(
     workers: int | str = 1,
     jecb_config: dict | None = None,
     show_metrics: bool = False,
+    show_routing: bool = False,
 ) -> tuple[list[str], list[Row]]:
     """Section 7.5: per-class costs of JECB vs Horticulture's design."""
     bundle = TpceBenchmark(TpceConfig()).generate(
@@ -151,6 +190,9 @@ def tpce_case_study(
         _jecb_config(8, workers, jecb_config),
     ).run(train)
     _report_metrics("jecb tpce", result, show_metrics)
+    _report_routing(
+        "jecb tpce", bundle, result.partitioning, test, show_routing
+    )
     jecb_report = evaluator.evaluate(result.partitioning, test)
     hc_report = evaluator.evaluate(
         build_spec_partitioning(bundle.database.schema, 8, HORTICULTURE_SPEC),
@@ -174,6 +216,7 @@ def section76(
     workers: int | str = 1,
     jecb_config: dict | None = None,
     show_metrics: bool = False,
+    show_routing: bool = False,
 ) -> tuple[list[str], list[Row]]:
     """Synthetic non-key-join mix sweep at k=100."""
     k = 100

@@ -4,9 +4,23 @@ After partitioning, each incoming stored-procedure call must be routed.
 The router selects a *routing attribute* among the attributes bound to the
 procedure's parameters, consults a lookup table built over that attribute,
 and falls back to broadcast when no routable attribute exists.
+
+The tier is built for live workloads: lookup tables are maintained
+write-through from table-mutation hooks (with version-checked full-rebuild
+fallback), the lookup cache is LRU-bounded, calls can be routed in batches
+against one lookup generation, and a :class:`RoutingMetrics` block records
+what the tier did.
 """
 
+from repro.core.metrics import LatencyHistogram, RoutingMetrics
 from repro.routing.lookup_table import LookupTable
 from repro.routing.router import Router, RouteSummary, RoutingDecision
 
-__all__ = ["LookupTable", "Router", "RouteSummary", "RoutingDecision"]
+__all__ = [
+    "LatencyHistogram",
+    "LookupTable",
+    "Router",
+    "RouteSummary",
+    "RoutingDecision",
+    "RoutingMetrics",
+]

@@ -4,26 +4,88 @@ The paper adopts the lookup-table approach of Tatarowicz et al. [22]: for a
 chosen column, map each value to the set of partitions holding associated
 tuples. The coarser the attribute, the smaller the table; a mapping-
 independent partitioning makes most lookups single-partition.
+
+This implementation is *live*: entries are refcounted per contributing row,
+so the table can be maintained incrementally under inserts, deletes, and
+updates of the attribute's own table (``apply_insert`` & co.), and a
+version snapshot of every dependency table makes staleness a handful of
+integer compares (``is_stale``). Mutations the incremental path cannot
+absorb precisely — updates that touch the attribute or its join path, or
+any change to another table along the path — are answered with a full
+rebuild by the caller (the router).
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Iterator, Mapping
 
 from repro.core.mapping import REPLICATED
 from repro.core.path_eval import JoinPathEvaluator
-from repro.core.solution import DatabasePartitioning
+from repro.core.solution import DatabasePartitioning, TableSolution
 from repro.schema.attribute import Attr
 from repro.storage.database import Database
+from repro.storage.table import KeyValue, Table
+
+
+def _sensitive_columns(attribute: Attr, solution: TableSolution) -> frozenset[str]:
+    """Source-table columns whose change can move a row's partition or key.
+
+    The attribute column itself, plus every column of ``attribute.table``
+    the solution's join path reads (first-hop foreign keys, intra-table
+    destinations, and — for self-referencing schemas — any later node or
+    foreign key that lands back on the source table).
+    """
+    columns = {attribute.column}
+    path = solution.path
+    if path is not None:
+        for node in path.nodes:
+            for attr in node:
+                if attr.table == attribute.table:
+                    columns.add(attr.column)
+        for step in path.steps:
+            if step.fk is None:
+                continue
+            if step.fk.table == attribute.table:
+                columns.update(step.fk.columns)
+            if step.fk.ref_table == attribute.table:
+                columns.update(step.fk.ref_columns)
+    return frozenset(columns)
 
 
 class LookupTable:
-    """Partition locations of tuples, keyed by one column's values."""
+    """Partition locations of tuples, keyed by one column's values.
 
-    def __init__(self, attribute: Attr) -> None:
+    ``partitions_for`` returns an immutable ``frozenset`` (memoized per
+    value), so callers can never corrupt the table through aliasing. An
+    empty frozenset means the value was seen but only in replicated rows;
+    ``None`` means the value is unknown.
+    """
+
+    def __init__(
+        self,
+        attribute: Attr,
+        solution: TableSolution | None = None,
+        table: Table | None = None,
+        evaluator: JoinPathEvaluator | None = None,
+    ) -> None:
         self.attribute = attribute
-        self._partitions: dict[Any, set[int]] = {}
+        self._solution = solution
+        self._table = table
+        self._evaluator = evaluator
+        # value -> number of contributing rows (all seen values).
+        self._row_counts: dict[Any, int] = {}
+        # value -> {partition id -> contributing row count}; only values
+        # with at least one non-replicated contribution have an entry.
+        self._pid_counts: dict[Any, dict[int, int]] = {}
+        # value -> memoized frozenset; invalidated per value on mutation.
+        self._frozen: dict[Any, frozenset[int]] = {}
+        # dependency table name -> version at build / last applied write.
+        self._versions: dict[str, int] = {}
+        self._sensitive: frozenset[str] = frozenset({attribute.column})
 
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
     @classmethod
     def build(
         cls,
@@ -39,25 +101,145 @@ class LookupTable:
         """
         evaluator = evaluator or JoinPathEvaluator(database)
         table = database.table(attribute.table)
-        out = cls(attribute)
         solution = partitioning.solution_for(attribute.table)
+        out = cls(attribute, solution, table, evaluator)
+        out._sensitive = _sensitive_columns(attribute, solution)
         for row in table.scan():
-            value = row.get(attribute.column)
-            if value is None:
-                continue
-            key = table.primary_key_of(row)
-            pid = solution.partition_of(key, evaluator)
-            bucket = out._partitions.setdefault(value, set())
-            if pid is not None and pid != REPLICATED:
-                bucket.add(pid)
+            out._absorb(row)
+        for name in solution.dependency_tables:
+            out._versions[name] = database.table(name).version
         return out
 
-    def partitions_for(self, value: Any) -> set[int] | None:
+    @property
+    def dependencies(self) -> tuple[str, ...]:
+        """Tables whose mutations can invalidate this lookup."""
+        if self._solution is None:
+            return (self.attribute.table,)
+        return self._solution.dependency_tables
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def partitions_for(self, value: Any) -> frozenset[int] | None:
         """Partitions holding tuples for *value*; None when value unseen."""
-        return self._partitions.get(value)
+        frozen = self._frozen.get(value)
+        if frozen is not None:
+            return frozen
+        if value not in self._row_counts:
+            return None
+        frozen = frozenset(self._pid_counts.get(value, ()))
+        self._frozen[value] = frozen
+        return frozen
+
+    def is_stale(self, database: Database) -> bool:
+        """True when any dependency table mutated since the last sync.
+
+        One integer compare per dependency table — cheap enough to run on
+        every cache access as the safety net under the write-through hooks
+        (e.g. for mutations applied while no hook was attached).
+        """
+        for name, version in self._versions.items():
+            if database.table(name).version != version:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # incremental maintenance (write-through)
+    # ------------------------------------------------------------------
+    def apply_insert(self, row: Mapping[str, Any]) -> bool:
+        """Absorb one inserted row of the attribute's table.
+
+        Returns False when the mutation cannot be applied precisely and the
+        caller must fall back to a full rebuild.
+        """
+        if self._table is None or self._solution is None:
+            return False
+        self._absorb(row)
+        self._versions[self.attribute.table] = self._table.version
+        return True
+
+    def apply_delete(self, row: Mapping[str, Any]) -> bool:
+        """Remove one deleted row's contribution (by its last version)."""
+        if self._table is None or self._solution is None:
+            return False
+        if not self._expel(row):
+            return False
+        self._versions[self.attribute.table] = self._table.version
+        return True
+
+    def apply_update(
+        self, old_row: Mapping[str, Any], new_row: Mapping[str, Any]
+    ) -> bool:
+        """Absorb an update; False when it touches routing-relevant columns.
+
+        An update that changes neither the attribute column nor any source-
+        table column the join path reads cannot move the row's partition,
+        so the lookup is untouched (primary keys are immutable under
+        :meth:`Table.update`). Anything else would need the *pre-update*
+        path evaluation, which is gone — signal a rebuild instead.
+        """
+        if self._table is None or self._solution is None:
+            return False
+        for column in self._sensitive:
+            if old_row.get(column) != new_row.get(column):
+                return False
+        self._versions[self.attribute.table] = self._table.version
+        return True
+
+    def _partition_of(self, row: Mapping[str, Any]) -> int | None:
+        assert self._table is not None and self._solution is not None
+        assert self._evaluator is not None
+        key: KeyValue = self._table.primary_key_of(row)
+        return self._solution.partition_of(key, self._evaluator)
+
+    def _absorb(self, row: Mapping[str, Any]) -> None:
+        value = row.get(self.attribute.column)
+        if value is None:
+            return
+        pid = self._partition_of(row)
+        self._row_counts[value] = self._row_counts.get(value, 0) + 1
+        if pid is not None and pid != REPLICATED:
+            bucket = self._pid_counts.setdefault(value, {})
+            bucket[pid] = bucket.get(pid, 0) + 1
+        self._frozen.pop(value, None)
+
+    def _expel(self, row: Mapping[str, Any]) -> bool:
+        value = row.get(self.attribute.column)
+        if value is None:
+            return True
+        count = self._row_counts.get(value)
+        if count is None:
+            # Never saw this value: the table and the lookup disagree.
+            return False
+        pid = self._partition_of(row)
+        if pid is not None and pid != REPLICATED:
+            bucket = self._pid_counts.get(value)
+            if bucket is None or pid not in bucket:
+                return False
+            bucket[pid] -= 1
+            if bucket[pid] <= 0:
+                del bucket[pid]
+            if not bucket:
+                del self._pid_counts[value]
+        if count <= 1:
+            del self._row_counts[value]
+            self._pid_counts.pop(value, None)
+        else:
+            self._row_counts[value] = count - 1
+        self._frozen.pop(value, None)
+        return True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, value: Any) -> bool:
+        return value in self._row_counts
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._row_counts)
 
     def __len__(self) -> int:
-        return len(self._partitions)
+        return len(self._row_counts)
 
     def __repr__(self) -> str:
-        return f"LookupTable({self.attribute}, entries={len(self._partitions)})"
+        return f"LookupTable({self.attribute}, entries={len(self._row_counts)})"

@@ -10,6 +10,12 @@ from repro.schema.table import TableSchema
 Row = dict[str, Any]
 KeyValue = tuple[Any, ...]
 
+#: Mutation listener: ``(op, key, old_row, new_row)`` where *op* is one of
+#: ``"insert"`` / ``"update"`` / ``"delete"``. ``old_row`` is ``None`` for
+#: inserts, ``new_row`` is ``None`` for deletes; both are defensive copies,
+#: so listeners may keep them without seeing later in-place edits.
+MutationListener = Callable[[str, KeyValue, Row | None, Row | None], None]
+
 
 class Table:
     """Row store for one table.
@@ -33,6 +39,7 @@ class Table:
         # values at access time; tombstones preserve that information for
         # tuples that were deleted later (e.g. TPC-C NEW_ORDER rows).
         self._graveyard: dict[KeyValue, Row] = {}
+        self._listeners: list[MutationListener] = []
 
     # ------------------------------------------------------------------
     # keys
@@ -67,6 +74,8 @@ class Table:
         self._graveyard.pop(key, None)
         for columns, index in self._indexes.items():
             index.setdefault(tuple(stored[c] for c in columns), []).append(key)
+        if self._listeners:
+            self._notify("insert", key, None, dict(stored))
         return key
 
     def update(self, key: KeyValue, changes: Mapping[str, Any]) -> Row:
@@ -84,6 +93,7 @@ class Table:
                 )
             if not self.schema.has_column(col):
                 raise StorageError(f"no column {col} in table {self.schema.name}")
+        old_row = dict(row) if self._listeners else None
         for columns, index in self._indexes.items():
             if any(c in changes for c in columns):
                 old_val = tuple(row[c] for c in columns)
@@ -97,6 +107,8 @@ class Table:
         for columns, index in self._indexes.items():
             if any(c in changes for c in columns):
                 index.setdefault(tuple(row[c] for c in columns), []).append(key)
+        if self._listeners:
+            self._notify("update", key, old_row, dict(row))
         return row
 
     def delete(self, key: KeyValue) -> Row:
@@ -113,7 +125,36 @@ class Table:
                 bucket.remove(key)
                 if not bucket:
                     del index[val]
+        if self._listeners:
+            self._notify("delete", key, dict(row), None)
         return row
+
+    # ------------------------------------------------------------------
+    # mutation listeners
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: MutationListener) -> None:
+        """Call *listener* after every committed insert/update/delete.
+
+        Listeners fire after the table (rows, indexes, version counter) is
+        fully updated, so they can re-read the table's new state. They are
+        the write-through feed of the routing tier's lookup tables; the
+        version counter stays the cheap fallback for holders that were not
+        subscribed while mutations happened.
+        """
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: MutationListener) -> None:
+        """Detach *listener*; unknown listeners are ignored."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify(
+        self, op: str, key: KeyValue, old: Row | None, new: Row | None
+    ) -> None:
+        for listener in tuple(self._listeners):
+            listener(op, key, old, new)
 
     # ------------------------------------------------------------------
     # lookup

@@ -65,8 +65,13 @@ class TraceCollector:
     def run(
         self, procedure: StoredProcedure, arguments: Mapping[str, Any]
     ) -> TransactionTrace:
-        """Execute *procedure* once as a traced transaction."""
-        self.begin(procedure.name)
+        """Execute *procedure* once as a traced transaction.
+
+        The invocation arguments are recorded on the transaction so the
+        collected trace doubles as a call log for the routing tier.
+        """
+        txn = self.begin(procedure.name)
+        txn.arguments = dict(arguments)
         try:
             procedure.execute(self.executor, arguments)
         except Exception:

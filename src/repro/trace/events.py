@@ -27,11 +27,18 @@ class TupleAccess:
 
 @dataclass
 class TransactionTrace:
-    """All tuple accesses of one executed transaction (Definition 1)."""
+    """All tuple accesses of one executed transaction (Definition 1).
+
+    ``arguments`` optionally carries the stored-procedure invocation
+    parameters the transaction ran with. The partitioning search never
+    reads them, but they turn a testing trace into a replayable *call log*
+    for the routing tier (``Trace.calls``).
+    """
 
     txn_id: int
     class_name: str
     accesses: list[TupleAccess] = field(default_factory=list)
+    arguments: dict | None = None
 
     def record(self, table: str, key: KeyValue, write: bool) -> None:
         self.accesses.append(TupleAccess(table, tuple(key), write))
@@ -83,6 +90,19 @@ class Trace:
 
     def is_homogeneous(self) -> bool:
         return len(self.class_names) <= 1
+
+    def calls(self) -> list[tuple[str, dict]]:
+        """The trace as a router-ready call log.
+
+        One ``(procedure_name, arguments)`` pair per transaction that
+        recorded its invocation arguments; transactions collected without
+        arguments (e.g. traces loaded from old files) are skipped.
+        """
+        return [
+            (txn.class_name, txn.arguments)
+            for txn in self.transactions
+            if txn.arguments is not None
+        ]
 
     def tables(self) -> set[str]:
         """All tables touched anywhere in the trace."""

@@ -20,7 +20,7 @@ from repro.trace.events import Trace, TransactionTrace
 
 
 def transaction_to_dict(txn: TransactionTrace) -> dict:
-    return {
+    out = {
         "id": txn.txn_id,
         "class": txn.class_name,
         "a": [
@@ -28,6 +28,9 @@ def transaction_to_dict(txn: TransactionTrace) -> dict:
             for access in txn.accesses
         ],
     }
+    if txn.arguments is not None:
+        out["args"] = txn.arguments
+    return out
 
 
 def transaction_from_dict(data: dict) -> TransactionTrace:
@@ -35,6 +38,11 @@ def transaction_from_dict(data: dict) -> TransactionTrace:
         txn = TransactionTrace(int(data["id"]), str(data["class"]))
         for table, key, write in data["a"]:
             txn.record(str(table), tuple(key), bool(write))
+        arguments = data.get("args")
+        if arguments is not None:
+            if not isinstance(arguments, dict):
+                raise TypeError("args must be an object")
+            txn.arguments = arguments
         return txn
     except (KeyError, TypeError, ValueError) as exc:
         raise WorkloadError(f"malformed trace record: {exc}") from exc

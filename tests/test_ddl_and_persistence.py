@@ -164,6 +164,26 @@ class TestTracePersistence:
         with pytest.raises(WorkloadError):
             load_trace(io.StringIO('{"id": 1}\n'))
 
+    def test_arguments_round_trip(self):
+        txn = TransactionTrace(7, "CustInfo")
+        txn.record("TRADE", (1,), False)
+        txn.arguments = {"cust_id": 1, "any_account": 7}
+        data = transaction_to_dict(txn)
+        assert data["args"] == {"cust_id": 1, "any_account": 7}
+        restored = transaction_from_dict(data)
+        assert restored.arguments == {"cust_id": 1, "any_account": 7}
+
+    def test_arguments_omitted_when_absent(self):
+        data = transaction_to_dict(self.make_trace().transactions[0])
+        assert "args" not in data
+        assert transaction_from_dict(data).arguments is None
+
+    def test_non_object_args_rejected(self):
+        data = transaction_to_dict(self.make_trace().transactions[0])
+        data["args"] = [1, 2]
+        with pytest.raises(WorkloadError, match="args"):
+            transaction_from_dict(data)
+
     def test_round_trip_preserves_evaluator_cost(self, custinfo_workload):
         """A persisted trace scores identically to the live one."""
         import io as _io

@@ -71,3 +71,18 @@ class TestPartitioningExperiment:
         )
         assert run.resources is not None
         assert "MB" in experiment.summary()
+
+    def test_routed_run_in_summary(self, experiment):
+        run = experiment.run_jecb(
+            JECBConfig(num_partitions=2), name="routed", route=True
+        )
+        assert run.route_summary is not None
+        assert run.route_summary.total == len(experiment.testing_trace)
+        assert run.route_summary.metrics is not None
+        assert "routed:" in experiment.summary()
+
+    def test_route_calls_standalone(self, experiment):
+        run = experiment.run_jecb(JECBConfig(num_partitions=2))
+        summary = experiment.route_calls(run.partitioning)
+        assert summary is not None
+        assert summary.total == len(experiment.testing_trace)

@@ -11,7 +11,13 @@ import pytest
 import repro
 from repro.core import JECBConfig, JECBPartitioner
 from repro.core.join_path import JoinPath
-from repro.core.metrics import CacheStats, ClassMetrics, SearchMetrics
+from repro.core.metrics import (
+    CacheStats,
+    ClassMetrics,
+    LatencyHistogram,
+    RoutingMetrics,
+    SearchMetrics,
+)
 from repro.core.path_eval import JoinPathEvaluator, SnapshotIndex
 from repro.core.phase2 import Phase2Config
 from repro.core.phase3 import Phase3Config
@@ -78,6 +84,85 @@ class TestSearchMetricsAggregation:
         data = metrics.to_dict()
         assert data["workers"] == 4
         assert data["per_class"][0]["class_name"] == "A"
+
+
+# ----------------------------------------------------------------------
+# LatencyHistogram / RoutingMetrics
+# ----------------------------------------------------------------------
+class TestLatencyHistogram:
+    def test_observe_buckets_log_scale(self):
+        histogram = LatencyHistogram()
+        for seconds in (5e-7, 5e-6, 5e-5, 5e-4, 5e-3, 5e-2):
+            histogram.observe(seconds)
+        assert histogram.counts == [1, 1, 1, 1, 1, 1]
+        assert histogram.count == 6
+        assert histogram.max_seconds == pytest.approx(5e-2)
+        assert histogram.mean_seconds == pytest.approx(
+            histogram.total_seconds / 6
+        )
+
+    def test_merge(self):
+        first = LatencyHistogram()
+        first.observe(2e-6)
+        second = LatencyHistogram()
+        second.observe(2e-3)
+        first.merge(second)
+        assert first.count == 2
+        assert first.max_seconds == pytest.approx(2e-3)
+
+    def test_to_dict_and_str(self):
+        histogram = LatencyHistogram()
+        assert histogram.mean_seconds == 0.0
+        histogram.observe(3e-6)
+        data = histogram.to_dict()
+        assert data["count"] == 1
+        assert sum(data["counts"]) == 1
+        assert "us" in str(histogram)
+
+
+class TestRoutingMetrics:
+    def test_observe_and_broadcast_causes(self):
+        metrics = RoutingMetrics()
+        metrics.observe("single_partition", 1e-5)
+        metrics.observe("broadcast", 1e-4)
+        metrics.record_broadcast_cause("unknown_value")
+        metrics.record_broadcast_cause("unknown_value")
+        assert metrics.latency["single_partition"].count == 1
+        assert metrics.latency["broadcast"].count == 1
+        assert metrics.broadcast_causes == {"unknown_value": 2}
+
+    def test_write_through_applied(self):
+        metrics = RoutingMetrics(
+            write_through_inserts=2,
+            write_through_deletes=1,
+            write_through_updates=3,
+        )
+        assert metrics.write_through_applied == 6
+
+    def test_merge(self):
+        metrics = RoutingMetrics(lookups_built=1, staleness_detections=2)
+        metrics.record_broadcast_cause("no_bindings")
+        other = RoutingMetrics(lookups_built=4, lookups_evicted=5)
+        other.record_broadcast_cause("no_bindings")
+        other.observe("broadcast", 1e-6)
+        metrics.merge(other)
+        assert metrics.lookups_built == 5
+        assert metrics.lookups_evicted == 5
+        assert metrics.staleness_detections == 2
+        assert metrics.broadcast_causes == {"no_bindings": 2}
+        assert metrics.latency["broadcast"].count == 1
+
+    def test_summary_and_to_dict(self):
+        metrics = RoutingMetrics(lookups_built=2, batch_calls=7)
+        metrics.observe("single_partition", 2e-6)
+        metrics.record_broadcast_cause("missing_argument")
+        text = metrics.summary()
+        assert "lookups" in text
+        assert "missing_argument" in text
+        data = metrics.to_dict()
+        assert data["lookups_built"] == 2
+        assert data["batch_calls"] == 7
+        assert data["latency"]["single_partition"]["count"] == 1
 
 
 # ----------------------------------------------------------------------

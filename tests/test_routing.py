@@ -6,6 +6,7 @@ from repro.core import JECBConfig, JECBPartitioner
 from repro.core.join_path import JoinPath
 from repro.core.mapping import IdentityModMapping
 from repro.core.solution import DatabasePartitioning, TableSolution
+from repro.procedures import ProcedureCatalog, StoredProcedure
 from repro.routing import LookupTable, Router
 from repro.schema import Attr
 
@@ -54,6 +55,62 @@ class TestLookupTable:
         assert lookup.partitions_for(2) == {1}
         assert lookup.partitions_for(99) is None
         assert len(lookup) == 2
+
+    def test_partitions_for_returns_immutable_frozenset(
+        self, figure1_db, customer_partitioning
+    ):
+        lookup = LookupTable.build(
+            Attr("CUSTOMER_ACCOUNT", "CA_C_ID"),
+            figure1_db,
+            customer_partitioning,
+        )
+        found = lookup.partitions_for(1)
+        assert isinstance(found, frozenset)
+        with pytest.raises(AttributeError):
+            found.add(99)  # callers cannot corrupt the table via aliasing
+        assert lookup.partitions_for(1) == {2}
+
+    def test_staleness_and_dependencies(
+        self, figure1_db, customer_partitioning
+    ):
+        lookup = LookupTable.build(
+            Attr("TRADE", "T_CA_ID"), figure1_db, customer_partitioning
+        )
+        # The TRADE placement walks TRADE -> CUSTOMER_ACCOUNT.
+        assert lookup.dependencies == ("TRADE", "CUSTOMER_ACCOUNT")
+        assert not lookup.is_stale(figure1_db)
+        figure1_db.insert("CUSTOMER_ACCOUNT", {"CA_ID": 77, "CA_C_ID": 1})
+        assert lookup.is_stale(figure1_db)
+
+    def test_apply_insert_and_delete_roundtrip(
+        self, figure1_db, customer_partitioning
+    ):
+        attribute = Attr("CUSTOMER_ACCOUNT", "CA_C_ID")
+        lookup = LookupTable.build(
+            attribute, figure1_db, customer_partitioning
+        )
+        row = {"CA_ID": 30, "CA_C_ID": 5}
+        figure1_db.insert("CUSTOMER_ACCOUNT", row)
+        assert lookup.apply_insert(row)
+        assert lookup.partitions_for(5) == {2}  # 1 + 5 % 2
+        assert not lookup.is_stale(figure1_db)
+        figure1_db.delete("CUSTOMER_ACCOUNT", (30,))
+        assert lookup.apply_delete(row)
+        assert lookup.partitions_for(5) is None
+        assert not lookup.is_stale(figure1_db)
+
+    def test_apply_update_detects_sensitive_columns(
+        self, figure1_db, customer_partitioning
+    ):
+        attribute = Attr("CUSTOMER_ACCOUNT", "CA_C_ID")
+        lookup = LookupTable.build(
+            attribute, figure1_db, customer_partitioning
+        )
+        old = {"CA_ID": 7, "CA_C_ID": 2}
+        # Attribute/path column changed: incremental apply must refuse.
+        assert not lookup.apply_update(old, {"CA_ID": 7, "CA_C_ID": 1})
+        # Untouched routing columns: a cheap no-op.
+        assert lookup.apply_update(old, dict(old))
 
     def test_replicated_table_contributes_no_constraint(
         self, figure1_db, customer_partitioning
@@ -123,3 +180,367 @@ class TestRouter:
             decision = router.route("CustInfo", {"cust_id": customer})
             routed_single += decision.single_partition
         assert routed_single == 10
+
+
+CALL_BATTERY = (
+    [("CustInfo", {"cust_id": c}) for c in (1, 2, 3, 4)]
+    + [("CustInfo", {"any_account": a}) for a in (1, 7, 8, 10, 20)]
+    + [
+        ("CustInfo", {"cust_id": 1, "any_account": 7}),
+        ("CustInfo", {"cust_id": [1, 2]}),
+        ("CustInfo", {}),
+    ]
+)
+
+
+def _decisions(router, calls=CALL_BATTERY):
+    return [router.route(name, args) for name, args in calls]
+
+
+def _fresh_decisions(database, catalog, partitioning, calls=CALL_BATTERY):
+    fresh = Router(database, catalog, partitioning)
+    try:
+        return _decisions(fresh, calls)
+    finally:
+        fresh.close()
+
+
+class TestWriteThrough:
+    """The router must never serve decisions from a stale lookup."""
+
+    @pytest.fixture
+    def router(self, figure1_db, custinfo_procedure, customer_partitioning):
+        router = Router(
+            figure1_db,
+            ProcedureCatalog([custinfo_procedure]),
+            customer_partitioning,
+        )
+        yield router
+        router.close()
+
+    def test_insert_is_applied_write_through(
+        self, figure1_db, router, custinfo_procedure, customer_partitioning
+    ):
+        assert router.route("CustInfo", {"cust_id": 3}).broadcast
+        figure1_db.insert("CUSTOMER", {"C_ID": 3, "C_TAX_ID": 9003})
+        figure1_db.insert("CUSTOMER_ACCOUNT", {"CA_ID": 20, "CA_C_ID": 3})
+        decision = router.route("CustInfo", {"cust_id": 3})
+        assert decision.partitions == frozenset({2})  # 1 + 3 % 2
+        assert not decision.broadcast
+        # The CA_C_ID lookup absorbed the insert in place; only the TRADE
+        # lookup (which joins through CUSTOMER_ACCOUNT) may rebuild.
+        assert router.metrics.write_through_inserts == 1
+        assert router.metrics.lookups_rebuilt <= 1
+
+    def test_delete_regression_stale_lookup(
+        self, figure1_db, router, custinfo_procedure, customer_partitioning
+    ):
+        # Regression: the seed router cached lookups forever, so deleting
+        # every account of customer 1 kept routing to partition 2.
+        assert router.route("CustInfo", {"cust_id": 1}).partitions == {2}
+        figure1_db.delete("CUSTOMER_ACCOUNT", (1,))
+        figure1_db.delete("CUSTOMER_ACCOUNT", (8,))
+        stale_check = router.route("CustInfo", {"cust_id": 1})
+        fresh = _fresh_decisions(
+            figure1_db,
+            ProcedureCatalog([custinfo_procedure]),
+            customer_partitioning,
+            [("CustInfo", {"cust_id": 1})],
+        )[0]
+        assert stale_check == fresh
+        assert stale_check.broadcast  # customer 1 has no accounts left
+
+    def test_update_of_routing_column_triggers_rebuild(
+        self, figure1_db, router, custinfo_procedure, customer_partitioning
+    ):
+        assert router.route("CustInfo", {"cust_id": 2}).partitions == {1}
+        figure1_db.update("CUSTOMER_ACCOUNT", (7,), {"CA_C_ID": 1})
+        figure1_db.update("CUSTOMER_ACCOUNT", (10,), {"CA_C_ID": 1})
+        decision = router.route("CustInfo", {"cust_id": 2})
+        assert decision.broadcast  # customer 2 lost both accounts
+        assert router.route("CustInfo", {"cust_id": 1}).partitions == {2}
+        assert router.metrics.write_through_fallbacks >= 1
+        assert router.metrics.lookups_rebuilt >= 1
+
+    def test_dependency_table_mutation_invalidates(
+        self, figure1_db, router, custinfo_procedure, customer_partitioning
+    ):
+        # TRADE's placement walks through CUSTOMER_ACCOUNT: retargeting an
+        # account must re-route the trades that hang off it.
+        assert router.route("CustInfo", {"any_account": 1}).partitions == {2}
+        figure1_db.update("CUSTOMER_ACCOUNT", (1,), {"CA_C_ID": 2})
+        decision = router.route("CustInfo", {"any_account": 1})
+        assert decision.partitions == frozenset({1})  # now customer 2's
+        assert router.metrics.staleness_detections >= 1
+
+    def test_mutation_storm_matches_fresh_router(
+        self, figure1_db, router, custinfo_procedure, customer_partitioning
+    ):
+        """Acceptance: decisions equal a freshly built router's after every
+        insert/delete/update on routed and dependency tables."""
+        catalog = ProcedureCatalog([custinfo_procedure])
+        _decisions(router)  # warm the lookup cache
+        mutations = [
+            lambda: figure1_db.insert(
+                "CUSTOMER_ACCOUNT", {"CA_ID": 20, "CA_C_ID": 3}
+            ),
+            lambda: figure1_db.insert(
+                "TRADE", {"T_ID": 9, "T_CA_ID": 20, "T_QTY": 5}
+            ),
+            lambda: figure1_db.delete("TRADE", (2,)),
+            lambda: figure1_db.update(
+                "CUSTOMER_ACCOUNT", (7,), {"CA_C_ID": 1}
+            ),
+            lambda: figure1_db.delete("CUSTOMER_ACCOUNT", (10,)),
+            lambda: figure1_db.update("TRADE", (1,), {"T_QTY": 7}),
+        ]
+        for mutate in mutations:
+            mutate()
+            live = _decisions(router)
+            fresh = _fresh_decisions(
+                figure1_db, catalog, customer_partitioning
+            )
+            assert live == fresh
+
+    def test_non_sensitive_update_is_write_through_noop(
+        self, figure1_db, router, custinfo_procedure, customer_partitioning
+    ):
+        before = router.route("CustInfo", {"any_account": 1})
+        figure1_db.update("TRADE", (1,), {"T_QTY": 99})
+        assert router.route("CustInfo", {"any_account": 1}) == before
+        assert router.metrics.write_through_updates >= 1
+        assert router.metrics.lookups_rebuilt == 0
+
+    def test_version_check_backstops_detached_hooks(
+        self, figure1_db, router, custinfo_procedure, customer_partitioning
+    ):
+        assert router.route("CustInfo", {"cust_id": 1}).partitions == {2}
+        router.close()  # hooks gone: only the staleness check remains
+        figure1_db.delete("CUSTOMER_ACCOUNT", (1,))
+        figure1_db.delete("CUSTOMER_ACCOUNT", (8,))
+        assert router.route("CustInfo", {"cust_id": 1}).broadcast
+        assert router.metrics.staleness_detections >= 1
+
+
+class TestReplicatedOnly:
+    @pytest.fixture
+    def router(self, figure1_db, customer_partitioning):
+        procedure = StoredProcedure(
+            "Holdings",
+            params=["acct"],
+            statements={
+                "read": """
+                    SELECT HS_QTY FROM HOLDING_SUMMARY
+                    WHERE HS_CA_ID = @acct
+                """
+            },
+        )
+        router = Router(
+            figure1_db, ProcedureCatalog([procedure]), customer_partitioning
+        )
+        yield router
+        router.close()
+
+    def test_replicated_only_is_distinct_outcome(self, router):
+        decision = router.route("Holdings", {"acct": 1})
+        assert decision.replicated_only
+        assert not decision.broadcast
+        assert decision.single_partition
+        assert decision.outcome == "replicated_only"
+
+    def test_replicated_only_spreads_deterministically(self, router):
+        decisions = {
+            acct: router.route("Holdings", {"acct": acct})
+            for acct in (1, 7, 8, 10)
+        }
+        for acct, decision in decisions.items():
+            (pid,) = decision.partitions
+            assert 1 <= pid <= 2
+            repeat = router.route("Holdings", {"acct": acct})
+            assert repeat.partitions == decision.partitions
+        # the old code hard-coded partition 1 for every replicated read
+        spread = {next(iter(d.partitions)) for d in decisions.values()}
+        assert len(spread) == 2
+
+    def test_replicated_only_counted_in_summary(self, router):
+        summary = router.route_summary(
+            [("Holdings", {"acct": a}) for a in (1, 7, 8, 10)]
+        )
+        assert summary.replicated_only == 4
+        assert summary.single_partition == 0
+        assert summary.single_partition_fraction == 1.0
+        assert "replicated-only" in str(summary)
+
+    def test_constrained_candidate_beats_replicated_only(
+        self, figure1_db, custinfo_procedure, customer_partitioning
+    ):
+        # cust_id resolves against replicated CUSTOMER data in the
+        # Holdings-style statement, but any_account locates real TRADE
+        # tuples: the informative candidate must win.
+        partitioning = DatabasePartitioning(2, name="trades-only")
+        partitioning.set(
+            TableSolution(
+                "TRADE",
+                JoinPath.parse(
+                    figure1_db.schema,
+                    [
+                        "TRADE.T_ID", "TRADE.T_CA_ID",
+                        "CUSTOMER_ACCOUNT.CA_ID", "CUSTOMER_ACCOUNT.CA_C_ID",
+                    ],
+                ),
+                IdentityModMapping(2),
+            )
+        )
+        partitioning.set(TableSolution("CUSTOMER_ACCOUNT"))
+        partitioning.set(TableSolution("HOLDING_SUMMARY"))
+        partitioning.set(TableSolution("CUSTOMER"))
+        router = Router(
+            figure1_db,
+            ProcedureCatalog([custinfo_procedure]),
+            partitioning,
+        )
+        try:
+            decision = router.route(
+                "CustInfo", {"cust_id": 1, "any_account": 7}
+            )
+            assert not decision.replicated_only
+            assert decision.partitions == frozenset({1})
+            assert decision.routing_attribute == Attr("TRADE", "T_CA_ID")
+        finally:
+            router.close()
+
+
+class TestRoutingEdgeCases:
+    @pytest.fixture
+    def router(self, figure1_db, custinfo_procedure, customer_partitioning):
+        router = Router(
+            figure1_db,
+            ProcedureCatalog([custinfo_procedure]),
+            customer_partitioning,
+        )
+        yield router
+        router.close()
+
+    def test_in_list_parameters(self, router):
+        for value in ([1, 2], (1, 2), {1, 2}):
+            decision = router.route("CustInfo", {"cust_id": value})
+            assert decision.partitions == frozenset({1, 2})
+            assert not decision.broadcast
+
+    def test_unseen_value_falls_to_next_candidate(self, router):
+        decision = router.route(
+            "CustInfo", {"cust_id": 999, "any_account": 1}
+        )
+        assert decision.single_partition
+        assert decision.routing_attribute == Attr("TRADE", "T_CA_ID")
+
+    def test_none_valued_parameter_broadcasts(self, router):
+        decision = router.route("CustInfo", {"cust_id": None})
+        assert decision.broadcast
+        assert router.metrics.broadcast_causes.get("unknown_value", 0) >= 1
+
+    def test_none_inside_in_list_falls_through(self, router):
+        decision = router.route("CustInfo", {"cust_id": [1, None]})
+        assert decision.broadcast
+
+    def test_empty_in_list_broadcasts(self, router):
+        assert router.route("CustInfo", {"cust_id": []}).broadcast
+
+    def test_missing_argument_cause_recorded(self, router):
+        assert router.route("CustInfo", {}).broadcast
+        assert router.metrics.broadcast_causes.get("missing_argument", 0) >= 1
+
+    def test_pure_broadcast_catalog_without_bindings(
+        self, figure1_db, customer_partitioning
+    ):
+        procedure = StoredProcedure(
+            "Sweep",
+            params=[],
+            statements={"read": "SELECT C_TAX_ID FROM CUSTOMER"},
+        )
+        router = Router(
+            figure1_db, ProcedureCatalog([procedure]), customer_partitioning
+        )
+        try:
+            decision = router.route("Sweep", {})
+            assert decision.broadcast
+            assert decision.partitions == frozenset({1, 2})
+            assert (
+                router.metrics.broadcast_causes.get("no_bindings", 0) >= 1
+            )
+        finally:
+            router.close()
+
+
+class TestRouterCache:
+    def test_lru_bound_and_eviction(
+        self, figure1_db, custinfo_procedure, customer_partitioning
+    ):
+        router = Router(
+            figure1_db,
+            ProcedureCatalog([custinfo_procedure]),
+            customer_partitioning,
+            max_lookups=1,
+        )
+        try:
+            router.route("CustInfo", {"cust_id": 1, "any_account": 1})
+            assert router.metrics.lookups_built == 2
+            assert router.metrics.lookups_evicted >= 1
+            router.route("CustInfo", {"cust_id": 1})
+            assert router.metrics.lookups_rebuilt >= 1
+        finally:
+            router.close()
+
+    def test_max_lookups_validated(
+        self, figure1_db, custinfo_procedure, customer_partitioning
+    ):
+        with pytest.raises(ValueError):
+            Router(
+                figure1_db,
+                ProcedureCatalog([custinfo_procedure]),
+                customer_partitioning,
+                max_lookups=0,
+            )
+
+
+class TestBatchRouting:
+    @pytest.fixture
+    def router(self, figure1_db, custinfo_procedure, customer_partitioning):
+        router = Router(
+            figure1_db,
+            ProcedureCatalog([custinfo_procedure]),
+            customer_partitioning,
+        )
+        yield router
+        router.close()
+
+    def test_batch_matches_serial(self, router):
+        calls = CALL_BATTERY * 3
+        batch = router.route_batch(calls)
+        serial = [router.route(name, args) for name, args in calls]
+        assert batch == serial
+
+    def test_batch_memoizes_repeated_signatures(self, router):
+        calls = [("CustInfo", {"cust_id": 1})] * 10
+        decisions = router.route_batch(calls)
+        assert len(set(decisions)) == 1
+        assert router.metrics.batch_calls == 10
+        assert router.metrics.batch_memo_hits == 9
+
+    def test_unbound_unhashable_arguments_are_ignored(self, router):
+        calls = [
+            ("CustInfo", {"cust_id": 1, "extra": {"nested": True}}),
+            ("CustInfo", {"cust_id": 1, "extra": {"nested": False}}),
+        ]
+        first, second = router.route_batch(calls)
+        assert first == second
+        assert first.partitions == frozenset({2})
+
+    def test_summary_carries_metrics_and_latency(self, router):
+        summary = router.route_summary(CALL_BATTERY)
+        assert summary.metrics is router.metrics
+        observed = sum(
+            h.count for h in summary.metrics.latency.values()
+        )
+        assert observed == summary.total
+        assert summary.total == len(CALL_BATTERY)

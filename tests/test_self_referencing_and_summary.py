@@ -112,10 +112,15 @@ class TestRouteSummary:
         calls.append(("CustInfo", {}))  # unroutable -> broadcast
         summary = router.route_summary(calls)
         assert summary.total == 21
-        assert summary.single_partition == 20
+        # JECB replicates CUSTOMER_ACCOUNT here, so cust_id lookups find
+        # only replicated tuples: a distinct single-node outcome.
+        assert summary.single_partition + summary.replicated_only == 20
+        assert summary.replicated_only > 0
         assert summary.broadcast == 1
         assert summary.single_partition_fraction == pytest.approx(20 / 21)
         assert "21 calls" in str(summary)
+        assert summary.metrics is not None
+        assert summary.metrics.batch_calls == 21
 
     def test_empty_batch(self, custinfo_workload):
         database, catalog, trace = custinfo_workload

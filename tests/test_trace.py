@@ -82,6 +82,28 @@ class TestCollector:
         with pytest.raises(WorkloadError):
             TraceCollector(figure1_db).commit()
 
+    def test_run_records_call_arguments(self, figure1_db, custinfo_procedure):
+        collector = TraceCollector(figure1_db)
+        recorded = collector.run(
+            custinfo_procedure, {"cust_id": 1, "any_account": 1}
+        )
+        assert recorded.arguments == {"cust_id": 1, "any_account": 1}
+
+    def test_trace_calls_skips_argless_transactions(
+        self, figure1_db, custinfo_procedure
+    ):
+        collector = TraceCollector(figure1_db)
+        collector.run(custinfo_procedure, {"cust_id": 1, "any_account": 1})
+        collector.run(custinfo_procedure, {"cust_id": 2, "any_account": 7})
+        txn = collector.begin("Manual")  # hand-built: no argument record
+        txn.record("TRADE", (1,), False)
+        collector.commit()
+        calls = collector.trace.calls()
+        assert calls == [
+            ("CustInfo", {"cust_id": 1, "any_account": 1}),
+            ("CustInfo", {"cust_id": 2, "any_account": 7}),
+        ]
+
     def test_failed_procedure_not_recorded(self, figure1_db, custinfo_procedure):
         collector = TraceCollector(figure1_db)
         with pytest.raises(Exception):
