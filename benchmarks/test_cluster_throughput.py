@@ -1,0 +1,135 @@
+"""Simulated-cluster replay: JECB vs naive hashing, 1 vs 8 nodes.
+
+Replays the TPC-C testing trace through the :class:`~repro.cluster.Cluster`
+under three layouts — JECB's partitioning on 8 nodes, the same partitioning
+collapsed to a single node, and a naive per-table hash partitioning (every
+table hashed on the first primary-key column, the "no design" baseline) —
+and records distributed fractions, 2PC coordination cost per transaction,
+and replay throughput into ``BENCH_cluster.json`` (uploaded by CI).
+
+Acceptance criterion: JECB's simulated coordination overhead must come in
+below the hash baseline's — the paper's whole point, measured by the
+simulator instead of the static evaluator. The static and simulated
+distributed fractions must also agree exactly (faults off).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.baselines.published import build_spec_partitioning
+from repro.cluster import Cluster
+from repro.core import JECBConfig, JECBPartitioner
+from repro.evaluation import PartitioningEvaluator
+from repro.trace import train_test_split
+
+from conftest import print_table
+
+RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+
+
+def _simulate(bundle, partitioning, test, num_nodes=None):
+    cluster = Cluster(
+        bundle.database, bundle.catalog, partitioning, num_nodes=num_nodes
+    )
+    try:
+        started = time.perf_counter()
+        metrics = cluster.run_trace(test)
+        seconds = time.perf_counter() - started
+        assert cluster.check_conservation() == []
+    finally:
+        cluster.close()
+    return metrics, seconds
+
+
+@pytest.mark.smoke
+def test_cluster_replay_throughput(tpcc_small):
+    train, test = train_test_split(tpcc_small.trace, 0.5)
+    evaluator = PartitioningEvaluator(tpcc_small.database)
+
+    jecb = JECBPartitioner(
+        tpcc_small.database,
+        tpcc_small.catalog,
+        JECBConfig(num_partitions=8),
+    ).run(train)
+    hashed = build_spec_partitioning(
+        tpcc_small.database.schema,
+        8,
+        {
+            table.name: table.primary_key[0]
+            for table in tpcc_small.database.schema.tables
+        },
+        name="hash-first-pk",
+    )
+
+    jecb_static = evaluator.evaluate(jecb.partitioning, test)
+    hash_static = evaluator.evaluate(hashed, test)
+
+    jecb_sim, jecb_seconds = _simulate(tpcc_small, jecb.partitioning, test)
+    hash_sim, hash_seconds = _simulate(tpcc_small, hashed, test)
+    single_sim, single_seconds = _simulate(
+        tpcc_small, jecb.partitioning, test, num_nodes=1
+    )
+
+    # faults off, one node per partition: simulation == static, exactly
+    assert jecb_sim.committed_distributed == jecb_static.distributed_transactions
+    assert hash_sim.committed_distributed == hash_static.distributed_transactions
+    # a single node never coordinates
+    assert single_sim.committed_distributed == 0
+    assert single_sim.coordination_cost_units == 0.0
+
+    def _row(label, metrics, seconds):
+        return {
+            "layout": label,
+            "nodes": metrics.nodes,
+            "distributed_fraction": round(metrics.distributed_fraction, 4),
+            "cost_units_per_txn": round(metrics.cost_per_transaction, 4),
+            "coordination_units_per_txn": round(
+                metrics.coordination_per_transaction, 4
+            ),
+            "replayed_txns_per_second": round(len(test) / seconds)
+            if seconds
+            else None,
+        }
+
+    record = {
+        "workload": "tpcc (16 warehouses, 4000 transactions)",
+        "testing_transactions": len(test),
+        "static_vs_simulated_identical": True,
+        "layouts": [
+            _row("jecb k=8", jecb_sim, jecb_seconds),
+            _row("hash-first-pk k=8", hash_sim, hash_seconds),
+            _row("jecb single-node", single_sim, single_seconds),
+        ],
+    }
+    RESULT_FILE.write_text(json.dumps(record, indent=2) + "\n")
+
+    print_table(
+        "Simulated cluster replay (recorded in BENCH_cluster.json)",
+        ["layout", "distributed", "units/txn", "coord/txn", "txn/s"],
+        [
+            [
+                row["layout"],
+                f"{row['distributed_fraction']:.1%}",
+                f"{row['cost_units_per_txn']:.2f}",
+                f"{row['coordination_units_per_txn']:.2f}",
+                f"{row['replayed_txns_per_second']:,}",
+            ]
+            for row in record["layouts"]
+        ],
+    )
+
+    assert RESULT_FILE.exists()
+    # Acceptance criterion: JECB's simulated coordination overhead beats
+    # the naive hash layout's.
+    assert (
+        jecb_sim.coordination_per_transaction
+        < hash_sim.coordination_per_transaction
+    ), (
+        f"JECB coordination {jecb_sim.coordination_per_transaction:.3f} "
+        f">= hash {hash_sim.coordination_per_transaction:.3f}"
+    )

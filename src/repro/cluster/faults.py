@@ -1,0 +1,101 @@
+"""Deterministic fault schedules for the simulated cluster.
+
+A :class:`FaultPlan` is a sorted list of :class:`FaultEvent`\\ s keyed by
+the cluster's transaction tick (the index of the next transaction to
+run). Before executing transaction *t*, the cluster applies every event
+with ``tick <= t``: node crashes, recoveries (with replica resync), and
+live repartitioning (installing a new partitioning and migrating rows).
+
+Everything is deterministic — same plan, same trace, same outcome — so
+fault-injection tests are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.errors import ClusterError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.solution import DatabasePartitioning
+
+CRASH = "crash"
+RECOVER = "recover"
+REPARTITION = "repartition"
+
+_ACTIONS = (CRASH, RECOVER, REPARTITION)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled event: at *tick*, do *action*.
+
+    ``node`` identifies the target for crash/recover; ``partitioning``
+    carries the new layout for repartition events.
+    """
+
+    tick: int
+    action: str
+    node: int | None = None
+    partitioning: "DatabasePartitioning | None" = None
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ClusterError(
+                f"unknown fault action {self.action!r}; expected one of {_ACTIONS}"
+            )
+        if self.tick < 0:
+            raise ClusterError(f"fault tick must be >= 0, got {self.tick}")
+        if self.action in (CRASH, RECOVER) and self.node is None:
+            raise ClusterError(f"{self.action} event needs a node id")
+        if self.action == REPARTITION and self.partitioning is None:
+            raise ClusterError("repartition event needs a partitioning")
+
+
+class FaultPlan:
+    """An ordered schedule of fault events.
+
+    Built either from explicit events or fluently::
+
+        plan = (
+            FaultPlan()
+            .crash(node=2, at=10)
+            .recover(node=2, at=40)
+            .repartition(new_layout, at=80)
+        )
+
+    The fluent builders return new plans (plans are immutable once handed
+    to a cluster — the cluster keeps a cursor into the sorted schedule).
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        self.events: tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: e.tick)
+        )
+
+    # ------------------------------------------------------------------
+    # fluent builders
+    # ------------------------------------------------------------------
+    def crash(self, node: int, at: int) -> "FaultPlan":
+        return FaultPlan(self.events + (FaultEvent(at, CRASH, node=node),))
+
+    def recover(self, node: int, at: int) -> "FaultPlan":
+        return FaultPlan(self.events + (FaultEvent(at, RECOVER, node=node),))
+
+    def repartition(
+        self, partitioning: "DatabasePartitioning", at: int
+    ) -> "FaultPlan":
+        return FaultPlan(
+            self.events
+            + (FaultEvent(at, REPARTITION, partitioning=partitioning),)
+        )
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({list(self.events)!r})"

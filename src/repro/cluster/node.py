@@ -1,0 +1,38 @@
+"""One simulated cluster node: a partition-local database plus liveness."""
+
+from __future__ import annotations
+
+from repro.schema.database import DatabaseSchema
+from repro.storage.database import Database
+
+
+class Node:
+    """A member of the simulated cluster.
+
+    Each node owns a full :class:`Database` instance over the cluster's
+    schema; the :class:`~repro.cluster.cluster.Cluster` decides which rows
+    physically live here. ``up`` models liveness for fault injection: a
+    down node cannot participate in transactions, but its in-memory state
+    survives the crash (crash-stop with durable storage). ``divergent``
+    tracks tables whose replicated content missed writes while the node
+    was down; recovery resyncs exactly those.
+    """
+
+    def __init__(self, node_id: int, schema: DatabaseSchema) -> None:
+        self.node_id = node_id
+        self.database = Database(schema)
+        self.up = True
+        self.divergent: set[str] = set()
+
+    def crash(self) -> None:
+        self.up = False
+
+    def recover(self) -> None:
+        self.up = True
+
+    def row_count(self) -> int:
+        return self.database.row_count()
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "down"
+        return f"Node({self.node_id}, {state}, rows={self.row_count()})"

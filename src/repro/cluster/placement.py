@@ -1,0 +1,89 @@
+"""The physical placement map: where every row of every table lives.
+
+A :class:`DatabasePartitioning` is a *logical* placement rule; the
+:class:`PlacementMap` is its materialization over one concrete database,
+row by row:
+
+* tables whose :class:`~repro.core.solution.TableSolution` is replicated
+  live on every node (``replicated_tables``);
+* rows of partitioned tables whose join path maps them to partition 0
+  are value-replicated on every node (``everywhere``);
+* rows with no root value are *unroutable*: the simulated system keeps a
+  copy everywhere and has to broadcast every access to them
+  (``unroutable``) — the conservative reading Definition 5 implies;
+* every other row has exactly one home node (``homes``).
+"""
+
+from __future__ import annotations
+
+from repro.storage.table import KeyValue
+
+
+class PlacementMap:
+    """Row-level placement decisions for one cluster."""
+
+    def __init__(self) -> None:
+        self.replicated_tables: set[str] = set()
+        self.homes: dict[str, dict[KeyValue, int]] = {}
+        self.everywhere: dict[str, set[KeyValue]] = {}
+        self.unroutable: dict[str, set[KeyValue]] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def replicate_table(self, table: str) -> None:
+        self.replicated_tables.add(table)
+
+    def place(self, table: str, key: KeyValue, node_id: int) -> None:
+        self.homes.setdefault(table, {})[key] = node_id
+
+    def place_everywhere(self, table: str, key: KeyValue) -> None:
+        self.everywhere.setdefault(table, set()).add(key)
+
+    def mark_unroutable(self, table: str, key: KeyValue) -> None:
+        self.unroutable.setdefault(table, set()).add(key)
+
+    def forget(self, table: str, key: KeyValue) -> None:
+        """Drop any record of *key* (row deleted)."""
+        self.homes.get(table, {}).pop(key, None)
+        self.everywhere.get(table, set()).discard(key)
+        self.unroutable.get(table, set()).discard(key)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def home_of(self, table: str, key: KeyValue) -> int | None:
+        """Home node of a partitioned row, ``None`` when not singly homed."""
+        return self.homes.get(table, {}).get(key)
+
+    def is_everywhere(self, table: str, key: KeyValue) -> bool:
+        return key in self.everywhere.get(table, ())
+
+    def is_unroutable(self, table: str, key: KeyValue) -> bool:
+        return key in self.unroutable.get(table, ())
+
+    def is_placed(self, table: str, key: KeyValue) -> bool:
+        return (
+            key in self.homes.get(table, {})
+            or self.is_everywhere(table, key)
+            or self.is_unroutable(table, key)
+        )
+
+    def placed_count(self) -> int:
+        """Rows with exactly one home node."""
+        return sum(len(homes) for homes in self.homes.values())
+
+    def replicated_count(self) -> int:
+        """Rows value-replicated on every node (partition-0 mappings)."""
+        return sum(len(keys) for keys in self.everywhere.values())
+
+    def unroutable_count(self) -> int:
+        return sum(len(keys) for keys in self.unroutable.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"PlacementMap(replicated_tables={sorted(self.replicated_tables)}, "
+            f"homed={self.placed_count()}, "
+            f"everywhere={self.replicated_count()}, "
+            f"unroutable={self.unroutable_count()})"
+        )

@@ -182,28 +182,37 @@ class JoinGraph:
             self.attr_pool,
         )
 
-    def split(self) -> list["JoinGraph"]:
+    def split(
+        self, _exhausted: frozenset[str] = frozenset()
+    ) -> list["JoinGraph"]:
         """Section 5.2 Case-2 splitting into solvable sub-graphs.
 
         First split into connected components; then, inside a component, an
         *m-to-n* pivot — a partitioned table with foreign keys into two or
         more other partitioned tables — splits the component into one
         sub-graph per outgoing side (each keeps the pivot table).
+
+        ``_exhausted`` carries pivots already split on along this recursion
+        path: when two of a pivot's FK targets stay connected through some
+        other path, splitting cannot separate them, and re-selecting the
+        same pivot would recurse forever.
         """
         out: list[JoinGraph] = []
         for component in self.connected_components():
             if not (component & self.partitioned_tables):
                 continue
             sub = self.restrict(component)
-            pivot = sub._find_m_to_n_pivot()
+            pivot = sub._find_m_to_n_pivot(_exhausted)
             if pivot is None:
                 out.append(sub)
                 continue
-            out.extend(sub._split_at(pivot))
+            out.extend(sub._split_at(pivot, _exhausted | {pivot}))
         return out
 
-    def _find_m_to_n_pivot(self) -> str | None:
-        for table in sorted(self.partitioned_tables & self.tables):
+    def _find_m_to_n_pivot(
+        self, exhausted: frozenset[str] = frozenset()
+    ) -> str | None:
+        for table in sorted((self.partitioned_tables & self.tables) - exhausted):
             targets = {
                 fk.ref_table
                 for fk in self.fks
@@ -215,7 +224,9 @@ class JoinGraph:
                 return table
         return None
 
-    def _split_at(self, pivot: str) -> list["JoinGraph"]:
+    def _split_at(
+        self, pivot: str, exhausted: frozenset[str]
+    ) -> list["JoinGraph"]:
         """One sub-graph per FK side leaving the m-to-n *pivot* table."""
         sides = sorted(
             {
@@ -225,11 +236,15 @@ class JoinGraph:
             }
         )
         out: list[JoinGraph] = []
+        seen: set[frozenset[str]] = set()
         for side in sides:
             reachable = self._reach_without(pivot, side)
+            if frozenset(reachable) in seen:
+                continue  # two sides stayed connected: one sub-graph suffices
+            seen.add(frozenset(reachable))
             sub = self.restrict(reachable | {pivot})
             # Recurse: the side itself may still contain an m-to-n pivot.
-            out.extend(sub.split())
+            out.extend(sub.split(exhausted))
         return out
 
     def _reach_without(self, pivot: str, start: str) -> set[str]:

@@ -355,6 +355,191 @@ class RoutingMetrics:
         return "\n".join(lines)
 
 
+@dataclass
+class ClusterMetrics:
+    """What the simulated cluster did: per-outcome transaction counts,
+    2PC message/cost accounting, fault-injection effects, and physical
+    data movement.
+
+    The cost unit is simulated work, not wall time: a single-partition
+    transaction costs ``CostConfig.local_unit``; a distributed one
+    additionally pays the coordinator overhead plus prepare/commit rounds
+    per participant. ``distributed_fraction`` is the execution-side twin
+    of the static evaluator's Definition-6 cost — with faults disabled and
+    one node per partition the two agree exactly (see tests).
+    """
+
+    nodes: int = 0
+    transactions: int = 0
+    committed_local: int = 0
+    committed_distributed: int = 0
+    broadcasts: int = 0
+    aborts: int = 0
+    retries: int = 0
+    failed: int = 0
+    replica_failovers: int = 0
+    prepare_messages: int = 0
+    commit_messages: int = 0
+    local_cost_units: float = 0.0
+    coordination_cost_units: float = 0.0
+    retry_cost_units: float = 0.0
+    tuples_placed: int = 0
+    tuples_replicated: int = 0
+    unroutable_tuples: int = 0
+    tuples_migrated: int = 0
+    rows_resynced: int = 0
+    repartitions: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    per_node_transactions: dict[int, int] = field(default_factory=dict)
+    per_class_distributed: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def committed(self) -> int:
+        return self.committed_local + self.committed_distributed
+
+    @property
+    def distributed_fraction(self) -> float:
+        """Fraction of finished transactions that needed >1 participant.
+
+        Transactions that failed permanently (dead node, retries
+        exhausted) count toward the denominator: they were distributed
+        work the cluster could not complete.
+        """
+        finished = self.committed + self.failed
+        if finished == 0:
+            return 0.0
+        return (self.committed_distributed + self.failed) / finished
+
+    @property
+    def total_cost_units(self) -> float:
+        return (
+            self.local_cost_units
+            + self.coordination_cost_units
+            + self.retry_cost_units
+        )
+
+    @property
+    def cost_per_transaction(self) -> float:
+        finished = self.committed + self.failed
+        if finished == 0:
+            return 0.0
+        return self.total_cost_units / finished
+
+    @property
+    def coordination_per_transaction(self) -> float:
+        """Mean simulated coordination overhead per finished transaction."""
+        finished = self.committed + self.failed
+        if finished == 0:
+            return 0.0
+        return self.coordination_cost_units / finished
+
+    def record_participation(self, node_ids) -> None:
+        for node_id in node_ids:
+            self.per_node_transactions[node_id] = (
+                self.per_node_transactions.get(node_id, 0) + 1
+            )
+
+    def merge(self, other: "ClusterMetrics") -> None:
+        self.nodes = max(self.nodes, other.nodes)
+        self.transactions += other.transactions
+        self.committed_local += other.committed_local
+        self.committed_distributed += other.committed_distributed
+        self.broadcasts += other.broadcasts
+        self.aborts += other.aborts
+        self.retries += other.retries
+        self.failed += other.failed
+        self.replica_failovers += other.replica_failovers
+        self.prepare_messages += other.prepare_messages
+        self.commit_messages += other.commit_messages
+        self.local_cost_units += other.local_cost_units
+        self.coordination_cost_units += other.coordination_cost_units
+        self.retry_cost_units += other.retry_cost_units
+        self.tuples_placed += other.tuples_placed
+        self.tuples_replicated += other.tuples_replicated
+        self.unroutable_tuples += other.unroutable_tuples
+        self.tuples_migrated += other.tuples_migrated
+        self.rows_resynced += other.rows_resynced
+        self.repartitions += other.repartitions
+        self.crashes += other.crashes
+        self.recoveries += other.recoveries
+        for node_id, count in other.per_node_transactions.items():
+            self.per_node_transactions[node_id] = (
+                self.per_node_transactions.get(node_id, 0) + count
+            )
+        for name, count in other.per_class_distributed.items():
+            self.per_class_distributed[name] = (
+                self.per_class_distributed.get(name, 0) + count
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "nodes": self.nodes,
+            "transactions": self.transactions,
+            "committed_local": self.committed_local,
+            "committed_distributed": self.committed_distributed,
+            "distributed_fraction": self.distributed_fraction,
+            "broadcasts": self.broadcasts,
+            "aborts": self.aborts,
+            "retries": self.retries,
+            "failed": self.failed,
+            "replica_failovers": self.replica_failovers,
+            "prepare_messages": self.prepare_messages,
+            "commit_messages": self.commit_messages,
+            "local_cost_units": self.local_cost_units,
+            "coordination_cost_units": self.coordination_cost_units,
+            "retry_cost_units": self.retry_cost_units,
+            "total_cost_units": self.total_cost_units,
+            "cost_per_transaction": self.cost_per_transaction,
+            "coordination_per_transaction": self.coordination_per_transaction,
+            "tuples_placed": self.tuples_placed,
+            "tuples_replicated": self.tuples_replicated,
+            "unroutable_tuples": self.unroutable_tuples,
+            "tuples_migrated": self.tuples_migrated,
+            "rows_resynced": self.rows_resynced,
+            "repartitions": self.repartitions,
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+            "per_node_transactions": dict(self.per_node_transactions),
+            "per_class_distributed": dict(self.per_class_distributed),
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"cluster: {self.nodes} nodes, {self.transactions} transactions "
+            f"({self.committed_local} local, "
+            f"{self.committed_distributed} distributed, "
+            f"{self.failed} failed) -> "
+            f"{self.distributed_fraction:.1%} distributed",
+            f"cost: {self.total_cost_units:.1f} units "
+            f"({self.coordination_cost_units:.1f} coordination, "
+            f"{self.retry_cost_units:.1f} retry), "
+            f"{self.cost_per_transaction:.2f}/txn",
+            f"2pc: {self.prepare_messages} prepares, "
+            f"{self.commit_messages} commits, "
+            f"{self.broadcasts} broadcasts",
+            f"data: {self.tuples_placed} placed, "
+            f"{self.tuples_replicated} replicated, "
+            f"{self.unroutable_tuples} unroutable, "
+            f"{self.tuples_migrated} migrated",
+        ]
+        if self.crashes or self.recoveries or self.aborts:
+            lines.append(
+                f"faults: {self.crashes} crashes, "
+                f"{self.recoveries} recoveries, "
+                f"{self.aborts} aborts ({self.retries} retried), "
+                f"{self.replica_failovers} replica failovers, "
+                f"{self.rows_resynced} rows resynced"
+            )
+        if self.per_node_transactions:
+            loads = ", ".join(
+                f"n{node_id}={count}"
+                for node_id, count in sorted(self.per_node_transactions.items())
+            )
+            lines.append(f"  participation: {loads}")
+        return "\n".join(lines)
+
+
 class Stopwatch:
     """Tiny ``perf_counter`` context manager for phase timing."""
 

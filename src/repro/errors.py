@@ -59,3 +59,11 @@ class RoutingError(ReproError):
 
 class WorkloadError(ReproError):
     """A benchmark workload was configured or driven incorrectly."""
+
+
+class ClusterError(ReproError):
+    """The simulated cluster was misconfigured or reached an invalid state."""
+
+
+class ClusterUnavailable(ClusterError):
+    """A transaction touched a crashed node and must abort (retryable)."""

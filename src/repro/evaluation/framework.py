@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.cluster import Cluster, CostConfig, FaultPlan
+from repro.core.metrics import ClusterMetrics
 from repro.core.partitioner import JECBConfig, JECBPartitioner
 from repro.core.solution import DatabasePartitioning
 from repro.baselines.horticulture import (
@@ -64,6 +66,8 @@ class ExperimentRun:
     detail: Any = None
     #: router-tier outcomes on the testing trace's call log (when routed)
     route_summary: RouteSummary | None = None
+    #: simulated-cluster replay of the testing trace (when executed)
+    cluster_metrics: ClusterMetrics | None = None
 
     @property
     def cost(self) -> float:
@@ -94,6 +98,7 @@ class PartitioningExperiment:
         name: str | None = None,
         meter: bool = False,
         route: bool = False,
+        execute: bool = False,
         **kwargs: Any,
     ) -> ExperimentRun:
         """Run the registered *algorithm* and score its partitioning.
@@ -103,7 +108,11 @@ class PartitioningExperiment:
         (e.g. ``coverage=`` for Schism's trace subsampling). With
         ``route=True`` the testing trace's call log is additionally routed
         through a :class:`~repro.routing.router.Router` over the produced
-        partitioning, and the outcome summary lands on the run.
+        partitioning, and the outcome summary lands on the run. With
+        ``execute=True`` the testing trace is also replayed against a
+        simulated :class:`~repro.cluster.Cluster` (one node per
+        partition), putting simulated distributed-commit overhead next to
+        the static distributed-transaction fraction.
         """
         try:
             adapter = _ALGORITHMS[algorithm.lower()]
@@ -113,7 +122,7 @@ class PartitioningExperiment:
                 f"registered: {registered_algorithms()}"
             ) from None
         label, produce = adapter(self, config, **kwargs)
-        return self._run(name or label, produce, meter, route)
+        return self._run(name or label, produce, meter, route, execute)
 
     # ------------------------------------------------------------------
     # historical wrappers (kept for existing tests and examples)
@@ -151,10 +160,11 @@ class PartitioningExperiment:
         partitioning: DatabasePartitioning,
         name: str | None = None,
         route: bool = False,
+        execute: bool = False,
     ) -> ExperimentRun:
         """Score a pre-built partitioning (published solutions, optima)."""
         return self._run(
-            name or partitioning.name, lambda: partitioning, False, route
+            name or partitioning.name, lambda: partitioning, False, route, execute
         )
 
     def route_calls(
@@ -177,12 +187,40 @@ class PartitioningExperiment:
         finally:
             router.close()
 
+    def execute_cluster(
+        self,
+        partitioning: DatabasePartitioning,
+        num_nodes: int | None = None,
+        cost: CostConfig | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> ClusterMetrics:
+        """Replay the testing trace against a simulated cluster.
+
+        Places every row of the bundle's database on ``num_nodes`` nodes
+        (default: one per partition) and replays the testing trace's
+        tuple accesses through the cluster's 2PC accounting. The cluster
+        is torn down (listeners detached) before returning.
+        """
+        cluster = Cluster(
+            self.bundle.database,
+            self.bundle.catalog,
+            partitioning,
+            num_nodes=num_nodes,
+            cost=cost,
+            fault_plan=fault_plan,
+        )
+        try:
+            return cluster.run_trace(self.testing_trace)
+        finally:
+            cluster.close()
+
     def _run(
         self,
         name: str,
         produce: Callable[[], DatabasePartitioning],
         meter: bool,
         route: bool = False,
+        execute: bool = False,
     ) -> ExperimentRun:
         resources = None
         if meter:
@@ -196,6 +234,8 @@ class PartitioningExperiment:
         run = ExperimentRun(name, partitioning, report, resources, detail)
         if route:
             run.route_summary = self.route_calls(partitioning)
+        if execute:
+            run.cluster_metrics = self.execute_cluster(partitioning)
         self.runs.append(run)
         return run
 
@@ -214,6 +254,14 @@ class PartitioningExperiment:
                     f"  [routed: "
                     f"{run.route_summary.single_partition_fraction:.1%} "
                     f"single-partition]"
+                )
+            if run.cluster_metrics is not None:
+                line += (
+                    f"  [cluster: "
+                    f"{run.cluster_metrics.distributed_fraction:.1%} "
+                    f"distributed, "
+                    f"{run.cluster_metrics.cost_per_transaction:.2f} "
+                    f"units/txn]"
                 )
             lines.append(line)
         return "\n".join(lines)

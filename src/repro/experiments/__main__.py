@@ -13,6 +13,9 @@ controls Phase-2 parallelism. Every JECB run prints its SearchMetrics
 block unless ``--no-metrics`` is given, and (where an experiment supports
 it) replays the testing call log through the runtime router, printing the
 route summary and RoutingMetrics block, unless ``--no-routing`` is given.
+Experiments that support it also replay the testing trace on a simulated
+cluster (one node per partition) and report the simulated
+distributed-commit overhead, unless ``--no-cluster`` is given.
 """
 
 from __future__ import annotations
@@ -112,6 +115,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="suppress the router-tier summaries (RoutingMetrics blocks)",
     )
+    parser.add_argument(
+        "--no-cluster",
+        action="store_true",
+        help="skip the simulated-cluster replay (ClusterMetrics output)",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -124,6 +132,7 @@ def main(argv: list[str] | None = None) -> int:
             "jecb_config": args.config,
             "show_metrics": not args.no_metrics,
             "show_routing": not args.no_routing,
+            "show_cluster": not args.no_cluster,
         }
         if args.seed is not None:
             kwargs["seed"] = args.seed

@@ -12,6 +12,11 @@ every JECB run's :class:`~repro.core.metrics.SearchMetrics` summary.
 ``show_routing=True`` additionally replays the testing trace's call log
 through the runtime :class:`~repro.routing.Router` and prints the route
 summary plus its :class:`~repro.core.metrics.RoutingMetrics` block.
+``show_cluster=True`` replays the testing trace on a simulated
+:class:`~repro.cluster.Cluster` (one node per partition) so simulated
+distributed-commit overhead appears next to the static distributed
+fraction; ``sec76`` accepts the flag for CLI uniformity but skips the
+simulation (its k=100 synthetic sweep would dwarf the table).
 """
 
 from __future__ import annotations
@@ -20,12 +25,16 @@ from typing import Callable
 
 from repro.baselines import SchismConfig, SchismPartitioner
 from repro.baselines.published import build_spec_partitioning
+from repro.cluster import Cluster
 from repro.core import JECBConfig, JECBPartitioner, JECBResult
+from repro.core.metrics import ClusterMetrics
 from repro.core.solution import DatabasePartitioning
 from repro.evaluation import PartitioningEvaluator
 from repro.routing import Router
 from repro.trace import Trace, subsample, train_test_split
+from repro.workloads.auctionmark import AuctionMarkBenchmark, AuctionMarkConfig
 from repro.workloads.base import WorkloadBundle
+from repro.workloads.seats import SeatsBenchmark, SeatsConfig
 from repro.workloads.synthetic import (
     SyntheticBenchmark,
     SyntheticConfig,
@@ -85,6 +94,37 @@ def _report_routing(
     print(f"  [{label} routing]\n{indented}")
 
 
+def _simulate_cluster(
+    bundle: WorkloadBundle,
+    partitioning: DatabasePartitioning,
+    test_trace: Trace,
+) -> ClusterMetrics:
+    """Replay *test_trace* against a simulated cluster (one node/partition)."""
+    cluster = Cluster(bundle.database, bundle.catalog, partitioning)
+    try:
+        return cluster.run_trace(test_trace)
+    finally:
+        cluster.close()
+
+
+def _report_cluster(
+    label: str,
+    bundle: WorkloadBundle,
+    partitioning: DatabasePartitioning,
+    test_trace: Trace,
+    show_cluster: bool,
+) -> ClusterMetrics | None:
+    """Simulate the cluster replay and print its metrics block."""
+    if not show_cluster:
+        return None
+    metrics = _simulate_cluster(bundle, partitioning, test_trace)
+    indented = "\n".join(
+        f"    {line}" for line in metrics.summary().splitlines()
+    )
+    print(f"  [{label} cluster]\n{indented}")
+    return metrics
+
+
 def figure5(
     scale: float = 1.0,
     seed: int = 11,
@@ -92,6 +132,7 @@ def figure5(
     jecb_config: dict | None = None,
     show_metrics: bool = False,
     show_routing: bool = False,
+    show_cluster: bool = False,
 ) -> tuple[list[str], list[Row]]:
     """TPC-C: % distributed vs partition count, Schism coverages vs JECB."""
     bundle = TpccBenchmark(TpccConfig(warehouses=16)).generate(
@@ -122,6 +163,9 @@ def figure5(
             _report_routing(
                 f"jecb k={k}", bundle, result.partitioning, test, show_routing
             )
+            _report_cluster(
+                f"jecb k={k}", bundle, result.partitioning, test, show_cluster
+            )
         row.append(f"{evaluator.cost(result.partitioning, test):.1%}")
     rows.append(row)
     headers = ["series"] + [f"k={k}" for k in partition_counts]
@@ -135,13 +179,26 @@ def figure7(
     jecb_config: dict | None = None,
     show_metrics: bool = False,
     show_routing: bool = False,
+    show_cluster: bool = False,
 ) -> tuple[list[str], list[Row]]:
-    """JECB vs Schism across benchmarks at k=8 (quick variant)."""
+    """JECB vs Schism across benchmarks at k=8 (quick variant).
+
+    With ``show_cluster=True`` the table grows a "JECB sim" column: the
+    testing trace replayed on a simulated k-node cluster, reporting the
+    simulated distributed-commit fraction and 2PC cost per transaction
+    next to the static distributed-transaction fraction.
+    """
     k = 8
     benchmarks = [
         ("tpcc", TpccBenchmark(TpccConfig(warehouses=8)), _count(2500, scale)),
         ("tatp", TatpBenchmark(TatpConfig(subscribers=1000)), _count(2500, scale)),
         ("tpce", TpceBenchmark(TpceConfig()), _count(3000, scale)),
+        ("seats", SeatsBenchmark(SeatsConfig()), _count(2000, scale)),
+        (
+            "auctionmark",
+            AuctionMarkBenchmark(AuctionMarkConfig()),
+            _count(2000, scale),
+        ),
     ]
     rows: list[Row] = []
     for name, benchmark, count in benchmarks:
@@ -160,14 +217,22 @@ def figure7(
         schism = SchismPartitioner(
             bundle.database, SchismConfig(num_partitions=k)
         ).run(subsample(train, 0.5))
-        rows.append(
-            [
-                name,
-                f"{evaluator.cost(jecb.partitioning, test):.1%}",
-                f"{evaluator.cost(schism.partitioning, test):.1%}",
-            ]
-        )
-    return ["benchmark", "JECB", "Schism 50%"], rows
+        row = [
+            name,
+            f"{evaluator.cost(jecb.partitioning, test):.1%}",
+            f"{evaluator.cost(schism.partitioning, test):.1%}",
+        ]
+        if show_cluster:
+            sim = _simulate_cluster(bundle, jecb.partitioning, test)
+            row.append(
+                f"{sim.distributed_fraction:.1%} @ "
+                f"{sim.cost_per_transaction:.2f} units/txn"
+            )
+        rows.append(row)
+    headers = ["benchmark", "JECB", "Schism 50%"]
+    if show_cluster:
+        headers.append("JECB sim")
+    return headers, rows
 
 
 def tpce_case_study(
@@ -177,8 +242,15 @@ def tpce_case_study(
     jecb_config: dict | None = None,
     show_metrics: bool = False,
     show_routing: bool = False,
+    show_cluster: bool = False,
 ) -> tuple[list[str], list[Row]]:
-    """Section 7.5: per-class costs of JECB vs Horticulture's design."""
+    """Section 7.5: per-class costs of JECB vs Horticulture's design.
+
+    With ``show_cluster=True`` two extra rows replay the testing trace
+    on a simulated 8-node cluster for each design, putting simulated
+    distributed-commit overhead (2PC cost units per transaction) next to
+    the static distributed-transaction fractions above.
+    """
     bundle = TpceBenchmark(TpceConfig()).generate(
         _count(3000, scale), seed=seed
     )
@@ -193,11 +265,11 @@ def tpce_case_study(
     _report_routing(
         "jecb tpce", bundle, result.partitioning, test, show_routing
     )
-    jecb_report = evaluator.evaluate(result.partitioning, test)
-    hc_report = evaluator.evaluate(
-        build_spec_partitioning(bundle.database.schema, 8, HORTICULTURE_SPEC),
-        test,
+    hc_partitioning = build_spec_partitioning(
+        bundle.database.schema, 8, HORTICULTURE_SPEC
     )
+    jecb_report = evaluator.evaluate(result.partitioning, test)
+    hc_report = evaluator.evaluate(hc_partitioning, test)
     rows = [
         [
             name,
@@ -207,6 +279,23 @@ def tpce_case_study(
         for name in sorted(jecb_report.per_class_total)
     ]
     rows.append(["TOTAL", f"{jecb_report.cost:.1%}", f"{hc_report.cost:.1%}"])
+    if show_cluster:
+        jecb_sim = _simulate_cluster(bundle, result.partitioning, test)
+        hc_sim = _simulate_cluster(bundle, hc_partitioning, test)
+        rows.append(
+            [
+                "SIM distributed",
+                f"{jecb_sim.distributed_fraction:.1%}",
+                f"{hc_sim.distributed_fraction:.1%}",
+            ]
+        )
+        rows.append(
+            [
+                "SIM units/txn",
+                f"{jecb_sim.cost_per_transaction:.2f}",
+                f"{hc_sim.cost_per_transaction:.2f}",
+            ]
+        )
     return ["class", "JECB", "Horticulture"], rows
 
 
@@ -217,6 +306,7 @@ def section76(
     jecb_config: dict | None = None,
     show_metrics: bool = False,
     show_routing: bool = False,
+    show_cluster: bool = False,
 ) -> tuple[list[str], list[Row]]:
     """Synthetic non-key-join mix sweep at k=100."""
     k = 100

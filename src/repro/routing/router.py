@@ -206,6 +206,15 @@ class Router:
         """The (fresh) lookup table for *attribute*, building on demand."""
         return self._lookup(attribute)
 
+    def cached_lookups(self) -> dict[Attr, LookupTable]:
+        """Snapshot of the live lookup-table cache.
+
+        The metamorphic tests diff every cached table against one rebuilt
+        from scratch; exposing the cache keeps them off the private
+        attribute.
+        """
+        return dict(self._lookups)
+
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------

@@ -1,0 +1,433 @@
+"""Unit tests for the simulated partitioned cluster.
+
+Placement, trace replay, live execution with atomic aborts, fault
+injection (crash / recover / repartition), and the row-conservation
+invariant — all on the paper's Figure-1 mini-database so every expected
+node assignment can be written down by hand.
+"""
+
+import pytest
+
+from repro.baselines.published import build_spec_partitioning
+from repro.cluster import (
+    Cluster,
+    ClusterError,
+    CostConfig,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.core.join_path import JoinPath
+from repro.core.mapping import IdentityModMapping
+from repro.core.solution import DatabasePartitioning, TableSolution
+from repro.procedures import ProcedureCatalog, StoredProcedure
+from repro.trace import Trace
+from repro.trace.events import TransactionTrace, TupleAccess
+
+
+@pytest.fixture
+def customer_partitioning(custinfo_schema):
+    """By-customer layout: customer 1 -> partition 2, customer 2 -> 1."""
+    mapping = IdentityModMapping(2)
+    partitioning = DatabasePartitioning(2, name="by-customer")
+    partitioning.set(
+        TableSolution(
+            "TRADE",
+            JoinPath.parse(
+                custinfo_schema,
+                [
+                    "TRADE.T_ID", "TRADE.T_CA_ID",
+                    "CUSTOMER_ACCOUNT.CA_ID", "CUSTOMER_ACCOUNT.CA_C_ID",
+                ],
+            ),
+            mapping,
+        )
+    )
+    partitioning.set(
+        TableSolution(
+            "CUSTOMER_ACCOUNT",
+            JoinPath.parse(
+                custinfo_schema,
+                ["CUSTOMER_ACCOUNT.CA_ID", "CUSTOMER_ACCOUNT.CA_C_ID"],
+            ),
+            mapping,
+        )
+    )
+    partitioning.set(TableSolution("HOLDING_SUMMARY"))
+    partitioning.set(TableSolution("CUSTOMER"))
+    return partitioning
+
+
+@pytest.fixture
+def cluster(figure1_db, custinfo_procedure, customer_partitioning):
+    cluster = Cluster(
+        figure1_db,
+        ProcedureCatalog([custinfo_procedure]),
+        customer_partitioning,
+    )
+    yield cluster
+    cluster.close()
+
+
+def _trade_qty(database, trade_id):
+    return database.get("TRADE", (trade_id,))["T_QTY"]
+
+
+class TestPlacement:
+    def test_one_node_per_partition_by_default(self, cluster):
+        assert cluster.num_nodes == 2
+        assert cluster.up_node_ids() == frozenset({1, 2})
+
+    def test_rows_land_on_their_customer_node(self, cluster):
+        # customer 2's accounts (7, 10) -> partition 1 -> node 1
+        node1 = cluster.nodes[1].database
+        node2 = cluster.nodes[2].database
+        assert {r["CA_ID"] for r in node1.table("CUSTOMER_ACCOUNT").scan()} == {7, 10}
+        assert {r["CA_ID"] for r in node2.table("CUSTOMER_ACCOUNT").scan()} == {1, 8}
+        # trades follow their account through the join path
+        assert {r["T_ID"] for r in node1.table("TRADE").scan()} == {2, 3, 6, 8}
+        assert {r["T_ID"] for r in node2.table("TRADE").scan()} == {1, 4, 5, 7}
+
+    def test_replicated_tables_on_every_node(self, cluster):
+        for node in cluster.nodes.values():
+            assert len(node.database.table("CUSTOMER")) == 2
+            assert len(node.database.table("HOLDING_SUMMARY")) == 8
+
+    def test_placement_metrics(self, cluster):
+        # 4 CUSTOMER_ACCOUNT + 8 TRADE rows singly homed
+        assert cluster.metrics.tuples_placed == 12
+        # 2 CUSTOMER + 8 HOLDING_SUMMARY rows replicated everywhere
+        assert cluster.metrics.tuples_replicated == 10
+        assert cluster.metrics.unroutable_tuples == 0
+
+    def test_initial_conservation_holds(self, cluster):
+        assert cluster.check_conservation() == []
+
+    def test_ring_wrap_with_fewer_nodes_than_partitions(
+        self, figure1_db, custinfo_procedure, customer_partitioning
+    ):
+        cluster = Cluster(
+            figure1_db,
+            ProcedureCatalog([custinfo_procedure]),
+            customer_partitioning,
+            num_nodes=1,
+        )
+        try:
+            assert cluster.node_of(1) == cluster.node_of(2) == 1
+            assert len(cluster.nodes[1].database.table("TRADE")) == 8
+            assert cluster.check_conservation() == []
+        finally:
+            cluster.close()
+
+    def test_out_of_band_insert_is_mirrored(self, figure1_db, cluster):
+        figure1_db.insert("CUSTOMER_ACCOUNT", {"CA_ID": 20, "CA_C_ID": 1})
+        # customer 1 -> partition 2 -> node 2
+        assert cluster.nodes[2].database.get("CUSTOMER_ACCOUNT", (20,))
+        assert cluster.nodes[1].database.get("CUSTOMER_ACCOUNT", (20,)) is None
+        assert cluster.check_conservation() == []
+
+    def test_unroutable_row_is_spread_everywhere(self, figure1_db, cluster):
+        # a trade pointing at a nonexistent account has no root value
+        figure1_db.insert("TRADE", {"T_ID": 99, "T_CA_ID": 77, "T_QTY": 1})
+        for node in cluster.nodes.values():
+            assert node.database.get("TRADE", (99,)) is not None
+        assert cluster.metrics.unroutable_tuples == 1
+        assert cluster.check_conservation() == []
+
+    def test_dependency_mutation_moves_dependent_rows(
+        self, figure1_db, cluster
+    ):
+        # retargeting account 1 to customer 2 moves it and its trades
+        figure1_db.update("CUSTOMER_ACCOUNT", (1,), {"CA_C_ID": 2})
+        node1 = cluster.nodes[1].database
+        assert node1.get("CUSTOMER_ACCOUNT", (1,)) is not None
+        assert {r["T_ID"] for r in node1.table("TRADE").scan()} >= {1, 7}
+        assert cluster.check_conservation() == []
+        assert cluster.metrics.tuples_migrated >= 3
+
+
+class TestTraceReplay:
+    def _txn(self, txn_id, accesses):
+        return TransactionTrace(
+            txn_id=txn_id, class_name="T", accesses=accesses
+        )
+
+    def test_single_node_transaction_is_local(self, cluster):
+        metrics = cluster.run_trace(
+            Trace([
+                self._txn(0, [
+                    TupleAccess("TRADE", (2,), True),
+                    TupleAccess("CUSTOMER_ACCOUNT", (7,), False),
+                ])
+            ])
+        )
+        assert metrics.committed_local == 1
+        assert metrics.committed_distributed == 0
+        assert metrics.total_cost_units == cluster.cost.local_unit
+
+    def test_cross_node_transaction_is_distributed(self, cluster):
+        metrics = cluster.run_trace(
+            Trace([
+                self._txn(0, [
+                    TupleAccess("TRADE", (2,), True),   # node 1
+                    TupleAccess("TRADE", (1,), True),   # node 2
+                ])
+            ])
+        )
+        assert metrics.committed_distributed == 1
+        assert metrics.prepare_messages == 2
+        assert metrics.commit_messages == 2
+        assert metrics.coordination_cost_units == pytest.approx(
+            cluster.cost.distributed_overhead(2)
+        )
+
+    def test_replicated_write_touches_every_node(self, cluster):
+        metrics = cluster.run_trace(
+            Trace([self._txn(0, [TupleAccess("CUSTOMER", (1,), True)])])
+        )
+        assert metrics.committed_distributed == 1
+        assert metrics.per_node_transactions == {1: 1, 2: 1}
+
+    def test_replicated_read_commits_locally(self, cluster):
+        metrics = cluster.run_trace(
+            Trace([
+                self._txn(7, [TupleAccess("HOLDING_SUMMARY", (101, 1), False)])
+            ])
+        )
+        assert metrics.committed_local == 1
+        assert metrics.broadcasts == 0
+
+    def test_unroutable_access_broadcasts(self, figure1_db, cluster):
+        figure1_db.insert("TRADE", {"T_ID": 99, "T_CA_ID": 77, "T_QTY": 1})
+        metrics = cluster.run_trace(
+            Trace([self._txn(0, [TupleAccess("TRADE", (99,), False)])])
+        )
+        assert metrics.broadcasts == 1
+        assert metrics.committed_distributed == 1
+
+    def test_down_home_node_aborts_then_fails(
+        self, figure1_db, custinfo_procedure, customer_partitioning
+    ):
+        cluster = Cluster(
+            figure1_db,
+            ProcedureCatalog([custinfo_procedure]),
+            customer_partitioning,
+            fault_plan=FaultPlan().crash(node=1, at=0),
+        )
+        try:
+            metrics = cluster.run_trace(
+                Trace([self._txn(0, [TupleAccess("TRADE", (2,), True)])])
+            )
+            assert metrics.failed == 1
+            assert metrics.retries == cluster.cost.max_retries
+            assert metrics.aborts == cluster.cost.max_retries + 1
+            assert metrics.retry_cost_units > 0
+        finally:
+            cluster.close()
+
+    def test_replicated_read_fails_over_a_dead_coordinator(
+        self, figure1_db, custinfo_procedure, customer_partitioning
+    ):
+        # txn_id 0 prefers node 1 (1 + 0 % 2); node 1 is down, so the
+        # replicated read must fail over to node 2 and still commit.
+        cluster = Cluster(
+            figure1_db,
+            ProcedureCatalog([custinfo_procedure]),
+            customer_partitioning,
+            fault_plan=FaultPlan().crash(node=1, at=0),
+        )
+        try:
+            metrics = cluster.run_trace(
+                Trace([
+                    self._txn(
+                        0, [TupleAccess("HOLDING_SUMMARY", (101, 1), False)]
+                    )
+                ])
+            )
+            assert metrics.committed_local == 1
+            assert metrics.replica_failovers == 1
+            assert metrics.per_node_transactions == {2: 1}
+        finally:
+            cluster.close()
+
+
+class TestLiveExecution:
+    def test_commit_applies_to_owning_node(self, figure1_db, cluster):
+        before = _trade_qty(figure1_db, 2)
+        assert cluster.execute("CustInfo", {"cust_id": 2, "any_account": 7})
+        assert _trade_qty(figure1_db, 2) == before + 1
+        node_row = cluster.nodes[1].database.get("TRADE", (2,))
+        assert node_row["T_QTY"] == before + 1
+        assert cluster.check_conservation() == []
+        assert cluster.metrics.committed == 1
+
+    def test_abort_rolls_back_the_source_atomically(
+        self, figure1_db, custinfo_procedure, customer_partitioning
+    ):
+        cluster = Cluster(
+            figure1_db,
+            ProcedureCatalog([custinfo_procedure]),
+            customer_partitioning,
+            fault_plan=FaultPlan().crash(node=1, at=0),
+        )
+        try:
+            before = {t: _trade_qty(figure1_db, t) for t in (2, 6)}
+            # account 7's trades live on the crashed node 1
+            assert not cluster.execute(
+                "CustInfo", {"cust_id": 2, "any_account": 7}
+            )
+            assert {t: _trade_qty(figure1_db, t) for t in (2, 6)} == before
+            assert cluster.metrics.failed == 1
+            assert cluster.metrics.committed == 0
+            assert cluster.check_conservation() == []
+        finally:
+            cluster.close()
+
+    def test_recovery_resyncs_divergent_replicas(
+        self, figure1_db, custinfo_procedure, customer_partitioning
+    ):
+        plan = FaultPlan().crash(node=2, at=0).recover(node=2, at=1)
+        cluster = Cluster(
+            figure1_db,
+            ProcedureCatalog([custinfo_procedure]),
+            customer_partitioning,
+            fault_plan=plan,
+        )
+        try:
+            # tick 0: node 2 crashes; a replicated write misses it
+            assert cluster.execute(
+                "CustInfo", {"cust_id": 2, "any_account": 7}
+            )
+            figure1_db.insert("CUSTOMER", {"C_ID": 3, "C_TAX_ID": 9003})
+            assert "CUSTOMER" in cluster.nodes[2].divergent
+            assert cluster.check_conservation() == []  # divergence is exempt
+            # tick 1: node 2 recovers and resyncs the missed write
+            assert cluster.execute(
+                "CustInfo", {"cust_id": 2, "any_account": 7}
+            )
+            assert cluster.nodes[2].divergent == set()
+            assert cluster.nodes[2].database.get("CUSTOMER", (3,)) is not None
+            assert cluster.metrics.rows_resynced >= 1
+            assert cluster.metrics.crashes == 1
+            assert cluster.metrics.recoveries == 1
+            assert cluster.check_conservation() == []
+        finally:
+            cluster.close()
+
+    def test_failed_transaction_leaves_no_partial_state(
+        self, figure1_db, custinfo_procedure, customer_partitioning
+    ):
+        # Crash mid-plan: the write targets both nodes' trades via a
+        # broadcast-y account list; node 2 down means the plan aborts
+        # before ANY node sees a write.
+        cluster = Cluster(
+            figure1_db,
+            ProcedureCatalog([custinfo_procedure]),
+            customer_partitioning,
+            fault_plan=FaultPlan().crash(node=2, at=0),
+        )
+        try:
+            before = _trade_qty(figure1_db, 1)  # account 1 -> node 2
+            assert not cluster.execute(
+                "CustInfo", {"cust_id": 1, "any_account": 1}
+            )
+            assert _trade_qty(figure1_db, 1) == before
+            assert cluster.nodes[2].database.get("TRADE", (1,))["T_QTY"] == before
+            assert cluster.check_conservation() == []
+        finally:
+            cluster.close()
+
+
+class TestRepartitioning:
+    def test_install_migrates_rows_and_stays_conserved(
+        self, figure1_db, custinfo_schema, cluster
+    ):
+        by_account = build_spec_partitioning(
+            custinfo_schema,
+            2,
+            {"CUSTOMER_ACCOUNT": "CA_ID", "TRADE": "T_CA_ID"},
+            mapping=IdentityModMapping(2),
+            name="by-account",
+        )
+        moved = cluster.install(by_account)
+        assert moved > 0
+        assert cluster.metrics.repartitions == 1
+        assert cluster.metrics.tuples_migrated >= moved
+        assert cluster.check_conservation() == []
+        # account 7 now hashes by its own id: 1 + 7 % 2 -> partition 2
+        assert cluster.nodes[2].database.get("CUSTOMER_ACCOUNT", (7,))
+
+    def test_scheduled_repartition_fires_mid_trace(
+        self, figure1_db, custinfo_schema, custinfo_procedure,
+        customer_partitioning,
+    ):
+        by_account = build_spec_partitioning(
+            custinfo_schema,
+            2,
+            {"CUSTOMER_ACCOUNT": "CA_ID", "TRADE": "T_CA_ID"},
+            mapping=IdentityModMapping(2),
+            name="by-account",
+        )
+        cluster = Cluster(
+            figure1_db,
+            ProcedureCatalog([custinfo_procedure]),
+            customer_partitioning,
+            fault_plan=FaultPlan().repartition(by_account, at=1),
+        )
+        try:
+            assert cluster.execute(
+                "CustInfo", {"cust_id": 2, "any_account": 7}
+            )
+            assert cluster.metrics.repartitions == 0
+            assert cluster.execute(
+                "CustInfo", {"cust_id": 2, "any_account": 7}
+            )
+            assert cluster.metrics.repartitions == 1
+            assert cluster.partitioning.name == "by-account"
+            assert cluster.check_conservation() == []
+        finally:
+            cluster.close()
+
+
+class TestFaultPlanValidation:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ClusterError):
+            FaultEvent(0, "explode", node=1)
+
+    def test_crash_needs_a_node(self):
+        with pytest.raises(ClusterError):
+            FaultEvent(0, "crash")
+
+    def test_repartition_needs_a_partitioning(self):
+        with pytest.raises(ClusterError):
+            FaultEvent(0, "repartition")
+
+    def test_negative_tick_rejected(self):
+        with pytest.raises(ClusterError):
+            FaultEvent(-1, "crash", node=1)
+
+    def test_events_sorted_by_tick(self):
+        plan = FaultPlan().recover(node=1, at=9).crash(node=1, at=2)
+        assert [e.tick for e in plan] == [2, 9]
+
+    def test_cluster_rejects_unknown_node_target(
+        self, figure1_db, custinfo_procedure, customer_partitioning
+    ):
+        with pytest.raises(ClusterError):
+            Cluster(
+                figure1_db,
+                ProcedureCatalog([custinfo_procedure]),
+                customer_partitioning,
+                fault_plan=FaultPlan().crash(node=5, at=0),
+            )
+
+
+class TestCostConfig:
+    def test_distributed_overhead_scales_with_participants(self):
+        cost = CostConfig()
+        assert cost.distributed_overhead(2) == pytest.approx(1.5)
+        assert cost.distributed_overhead(4) == pytest.approx(2.5)
+
+    def test_backoff_grows_exponentially(self):
+        cost = CostConfig()
+        assert cost.backoff_cost(0) == pytest.approx(0.5)
+        assert cost.backoff_cost(2) == pytest.approx(2.0)

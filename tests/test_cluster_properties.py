@@ -1,0 +1,219 @@
+"""Property and acceptance tests for the cluster simulator.
+
+Two layers:
+
+* **Exactness** — with faults off and one node per partition, replaying a
+  workload's testing trace through the cluster must reproduce the static
+  evaluator's distributed-transaction count EXACTLY (same Definition-5
+  classification, computed by a physically-placed code path). Pinned on
+  TPC-C and TATP, the acceptance workloads.
+* **Conservation** — under arbitrary interleavings of live transactions,
+  out-of-band mutations, node crashes and recoveries, no row may ever be
+  lost or duplicated (modulo replication), and every transaction must be
+  accounted committed or failed. Hypothesis drives the interleavings.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, FaultPlan
+from repro.core import JECBConfig, JECBPartitioner
+from repro.evaluation import PartitioningEvaluator
+from repro.procedures import ProcedureCatalog
+from repro.storage import Database
+from repro.trace import train_test_split
+from repro.workloads.tatp import TatpBenchmark, TatpConfig
+from repro.workloads.tpcc import TpccBenchmark, TpccConfig
+
+from tests.conftest import (
+    build_custinfo_procedure,
+    build_custinfo_schema,
+    load_figure1_data,
+)
+
+
+def _assert_cluster_matches_evaluator(bundle, num_partitions, seed_note):
+    train, test = train_test_split(bundle.trace, 0.5)
+    result = JECBPartitioner(
+        bundle.database,
+        bundle.catalog,
+        JECBConfig(num_partitions=num_partitions),
+    ).run(train)
+    report = PartitioningEvaluator(bundle.database).evaluate(
+        result.partitioning, test
+    )
+    cluster = Cluster(bundle.database, bundle.catalog, result.partitioning)
+    try:
+        metrics = cluster.run_trace(test)
+        problems = cluster.check_conservation()
+    finally:
+        cluster.close()
+    assert problems == []
+    assert metrics.failed == 0, seed_note
+    assert metrics.committed == len(test)
+    # the acceptance criterion: EXACT agreement, not approximate
+    assert metrics.committed_distributed == report.distributed_transactions
+    assert metrics.distributed_fraction == report.cost
+    # per-class counts agree too (Definition 6 is a per-class sum)
+    assert metrics.per_class_distributed == {
+        name: count
+        for name, count in report.per_class_distributed.items()
+        if count
+    }
+
+
+@pytest.mark.slow
+def test_tpcc_faults_off_matches_static_evaluator_exactly():
+    bundle = TpccBenchmark(TpccConfig(warehouses=4)).generate(800, seed=11)
+    _assert_cluster_matches_evaluator(bundle, 4, "tpcc seed 11")
+
+
+@pytest.mark.slow
+def test_tatp_faults_off_matches_static_evaluator_exactly():
+    bundle = TatpBenchmark(TatpConfig(subscribers=200)).generate(
+        800, seed=33
+    )
+    _assert_cluster_matches_evaluator(bundle, 4, "tatp seed 33")
+
+
+# ----------------------------------------------------------------------
+# conservation under arbitrary mutation/fault interleavings
+# ----------------------------------------------------------------------
+def _build_partitioning(schema):
+    from repro.core.join_path import JoinPath
+    from repro.core.mapping import IdentityModMapping
+    from repro.core.solution import DatabasePartitioning, TableSolution
+
+    mapping = IdentityModMapping(2)
+    partitioning = DatabasePartitioning(2, name="by-customer")
+    partitioning.set(
+        TableSolution(
+            "TRADE",
+            JoinPath.parse(
+                schema,
+                [
+                    "TRADE.T_ID", "TRADE.T_CA_ID",
+                    "CUSTOMER_ACCOUNT.CA_ID", "CUSTOMER_ACCOUNT.CA_C_ID",
+                ],
+            ),
+            mapping,
+        )
+    )
+    partitioning.set(
+        TableSolution(
+            "CUSTOMER_ACCOUNT",
+            JoinPath.parse(
+                schema, ["CUSTOMER_ACCOUNT.CA_ID", "CUSTOMER_ACCOUNT.CA_C_ID"]
+            ),
+            mapping,
+        )
+    )
+    partitioning.set(TableSolution("HOLDING_SUMMARY"))
+    partitioning.set(TableSolution("CUSTOMER"))
+    return partitioning
+
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("execute"),
+            st.integers(min_value=1, max_value=4),   # cust_id
+            st.integers(min_value=1, max_value=12),  # any_account
+        ),
+        st.tuples(
+            st.just("insert_ca"),
+            st.integers(min_value=1, max_value=4),   # owning customer
+            st.just(0),
+        ),
+        st.tuples(
+            st.just("insert_trade"),
+            st.integers(min_value=1, max_value=12),  # account
+            st.just(0),
+        ),
+        st.tuples(
+            st.just("delete_trade"),
+            st.integers(min_value=1, max_value=8),
+            st.just(0),
+        ),
+        st.tuples(
+            st.just("retarget_ca"),
+            st.sampled_from([1, 7, 8, 10]),
+            st.integers(min_value=1, max_value=4),   # new customer
+        ),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+_FAULTS = st.lists(
+    st.tuples(
+        st.sampled_from(["crash", "recover"]),
+        st.integers(min_value=1, max_value=2),  # node
+        st.integers(min_value=0, max_value=12),  # tick
+    ),
+    max_size=4,
+)
+
+
+@given(ops=_OPS, faults=_FAULTS)
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_no_row_lost_or_duplicated_under_faults(ops, faults):
+    schema = build_custinfo_schema()
+    database = Database(schema)
+    load_figure1_data(database)
+    catalog = ProcedureCatalog([build_custinfo_procedure()])
+    partitioning = _build_partitioning(schema)
+
+    executes = sum(1 for op in ops if op[0] == "execute")
+    plan = FaultPlan()
+    for action, node, tick in faults:
+        if action == "crash":
+            plan = plan.crash(node=node, at=tick)
+        else:
+            plan = plan.recover(node=node, at=tick)
+    # end in a fully-recovered state so divergence exemptions drain
+    plan = plan.recover(node=1, at=executes).recover(node=2, at=executes)
+
+    cluster = Cluster(database, catalog, partitioning, fault_plan=plan)
+    try:
+        next_ca = 50
+        next_trade = 100
+        for kind, a, b in ops:
+            if kind == "execute":
+                cluster.execute(
+                    "CustInfo", {"cust_id": a, "any_account": b}
+                )
+            elif kind == "insert_ca":
+                database.insert(
+                    "CUSTOMER_ACCOUNT", {"CA_ID": next_ca, "CA_C_ID": a}
+                )
+                next_ca += 1
+            elif kind == "insert_trade":
+                database.insert(
+                    "TRADE",
+                    {"T_ID": next_trade, "T_CA_ID": a, "T_QTY": 1},
+                )
+                next_trade += 1
+            elif kind == "delete_trade":
+                if database.get("TRADE", (a,)) is not None:
+                    database.delete("TRADE", (a,))
+            else:  # retarget_ca
+                if database.get("CUSTOMER_ACCOUNT", (a,)) is not None:
+                    database.update(
+                        "CUSTOMER_ACCOUNT", (a,), {"CA_C_ID": b}
+                    )
+        # one trailing transaction fires the scheduled final recoveries
+        cluster.execute("CustInfo", {"cust_id": 1, "any_account": 1})
+
+        metrics = cluster.metrics
+        assert cluster.check_conservation() == []
+        assert all(node.divergent == set() for node in cluster.nodes.values())
+        assert metrics.committed + metrics.failed == metrics.transactions
+        assert metrics.transactions == executes + 1
+    finally:
+        cluster.close()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments import EXPERIMENTS, section76
+from repro.experiments import EXPERIMENTS, figure7, section76
 from repro.experiments.__main__ import _render, main
 
 
@@ -17,6 +17,16 @@ class TestRunner:
         # endpoints of the crossover
         assert rows[0][1].startswith("0")
         assert rows[-1][2].startswith("0")
+
+    @pytest.mark.slow
+    def test_figure7_registers_five_benchmarks_and_sim_column(self):
+        headers, rows = figure7(scale=0.01, show_cluster=True)
+        assert headers == ["benchmark", "JECB", "Schism 50%", "JECB sim"]
+        assert [row[0] for row in rows] == [
+            "tpcc", "tatp", "tpce", "seats", "auctionmark"
+        ]
+        for row in rows:
+            assert "units/txn" in row[3]
 
 
 class TestCli:
@@ -38,3 +48,6 @@ class TestCli:
 
     def test_seed_override(self, capsys):
         assert main(["sec76", "--scale", "0.1", "--seed", "123"]) == 0
+
+    def test_no_cluster_flag_accepted(self, capsys):
+        assert main(["sec76", "--scale", "0.1", "--no-cluster"]) == 0

@@ -1,6 +1,8 @@
 """Unit tests for the runtime router and lookup tables."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import JECBConfig, JECBPartitioner
 from repro.core.join_path import JoinPath
@@ -9,6 +11,13 @@ from repro.core.solution import DatabasePartitioning, TableSolution
 from repro.procedures import ProcedureCatalog, StoredProcedure
 from repro.routing import LookupTable, Router
 from repro.schema import Attr
+from repro.storage import Database
+
+from tests.conftest import (
+    build_custinfo_procedure,
+    build_custinfo_schema,
+    load_figure1_data,
+)
 
 
 @pytest.fixture
@@ -468,6 +477,124 @@ class TestRoutingEdgeCases:
             assert (
                 router.metrics.broadcast_causes.get("no_bindings", 0) >= 1
             )
+        finally:
+            router.close()
+
+
+def _build_custinfo_partitioning(schema):
+    mapping = IdentityModMapping(2)
+    partitioning = DatabasePartitioning(2, name="by-customer")
+    partitioning.set(
+        TableSolution(
+            "TRADE",
+            JoinPath.parse(
+                schema,
+                [
+                    "TRADE.T_ID", "TRADE.T_CA_ID",
+                    "CUSTOMER_ACCOUNT.CA_ID", "CUSTOMER_ACCOUNT.CA_C_ID",
+                ],
+            ),
+            mapping,
+        )
+    )
+    partitioning.set(
+        TableSolution(
+            "CUSTOMER_ACCOUNT",
+            JoinPath.parse(
+                schema, ["CUSTOMER_ACCOUNT.CA_ID", "CUSTOMER_ACCOUNT.CA_C_ID"]
+            ),
+            mapping,
+        )
+    )
+    partitioning.set(TableSolution("HOLDING_SUMMARY"))
+    partitioning.set(TableSolution("CUSTOMER"))
+    return partitioning
+
+
+_STORM = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert_ca"), st.integers(1, 5), st.just(0)),
+        st.tuples(st.just("insert_trade"), st.integers(1, 25), st.just(0)),
+        st.tuples(st.just("delete_ca"), st.integers(1, 29), st.just(0)),
+        st.tuples(st.just("delete_trade"), st.integers(1, 120), st.just(0)),
+        st.tuples(
+            st.just("retarget_ca"), st.integers(1, 29), st.integers(1, 5)
+        ),
+        st.tuples(
+            st.just("retarget_trade"),
+            st.integers(1, 120),
+            st.integers(1, 25),
+        ),
+        st.tuples(
+            st.just("touch_qty"), st.integers(1, 120), st.integers(1, 99)
+        ),
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+class TestMetamorphicWriteThrough:
+    """Metamorphic property: a write-through-maintained router is
+    indistinguishable from one built from scratch on the mutated database —
+    decision for decision, and lookup table for lookup table."""
+
+    @given(storm=_STORM)
+    @settings(max_examples=50, deadline=None)
+    def test_storm_preserves_lookup_equivalence(self, storm):
+        schema = build_custinfo_schema()
+        database = Database(schema)
+        load_figure1_data(database)
+        catalog = ProcedureCatalog([build_custinfo_procedure()])
+        partitioning = _build_custinfo_partitioning(schema)
+        router = Router(database, catalog, partitioning)
+        try:
+            _decisions(router)  # warm the lookup cache
+            next_ca, next_trade = 20, 100
+            for kind, a, b in storm:
+                if kind == "insert_ca":
+                    database.insert(
+                        "CUSTOMER_ACCOUNT", {"CA_ID": next_ca, "CA_C_ID": a}
+                    )
+                    next_ca += 1
+                elif kind == "insert_trade":
+                    database.insert(
+                        "TRADE",
+                        {"T_ID": next_trade, "T_CA_ID": a, "T_QTY": 1},
+                    )
+                    next_trade += 1
+                elif kind == "delete_ca":
+                    if database.get("CUSTOMER_ACCOUNT", (a,)) is not None:
+                        database.delete("CUSTOMER_ACCOUNT", (a,))
+                elif kind == "delete_trade":
+                    if database.get("TRADE", (a,)) is not None:
+                        database.delete("TRADE", (a,))
+                elif kind == "retarget_ca":
+                    if database.get("CUSTOMER_ACCOUNT", (a,)) is not None:
+                        database.update(
+                            "CUSTOMER_ACCOUNT", (a,), {"CA_C_ID": b}
+                        )
+                elif kind == "retarget_trade":
+                    if database.get("TRADE", (a,)) is not None:
+                        database.update("TRADE", (a,), {"T_CA_ID": b})
+                else:  # touch_qty: routing-insensitive update
+                    if database.get("TRADE", (a,)) is not None:
+                        database.update("TRADE", (a,), {"T_QTY": b})
+
+            live = _decisions(router)
+            fresh = _fresh_decisions(database, catalog, partitioning)
+            assert live == fresh
+
+            # every surviving cached lookup equals one rebuilt from scratch
+            for attribute, cached in router.cached_lookups().items():
+                rebuilt = LookupTable.build(
+                    attribute, database, partitioning
+                )
+                assert len(cached) == len(rebuilt)
+                for value in set(cached) | set(rebuilt):
+                    assert cached.partitions_for(value) == (
+                        rebuilt.partitions_for(value)
+                    ), (attribute, value)
         finally:
             router.close()
 

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.evaluation import PartitioningEvaluator
+from repro.evaluation.framework import PartitioningExperiment
 from repro.trace.stats import TableUsage, classify_tables
 from repro.workloads.auctionmark import AuctionMarkBenchmark, AuctionMarkConfig
 from repro.workloads.seats import SeatsBenchmark, SeatsConfig
@@ -86,6 +87,23 @@ class TestSeats:
                 remote += 1
         assert home > remote * 5
 
+    def test_end_to_end_experiment_with_cluster(self, bundle):
+        """SEATS runs through the full Figure-4 pipeline: split, JECB,
+        static evaluation, and a simulated-cluster replay that must agree
+        with the static evaluator exactly."""
+        experiment = PartitioningExperiment(bundle)
+        run = experiment.run(
+            "jecb", {"num_partitions": 4}, execute=True
+        )
+        assert 0.0 <= run.cost <= 1.0
+        sim = run.cluster_metrics
+        assert sim is not None
+        assert sim.failed == 0
+        assert sim.committed == len(experiment.testing_trace)
+        assert sim.committed_distributed == run.report.distributed_transactions
+        assert sim.distributed_fraction == run.cost
+        assert "cluster:" in experiment.summary()
+
 
 class TestAuctionMark:
     @pytest.fixture(scope="class")
@@ -115,6 +133,21 @@ class TestAuctionMark:
     def test_purchases_close_items(self, bundle):
         statuses = {r["I_STATUS"] for r in bundle.database.table("ITEM").scan()}
         assert 2 in statuses
+
+    def test_end_to_end_experiment_with_cluster(self, bundle):
+        """AuctionMark's m-to-n bids stress the splitter; the pipeline must
+        still produce a partitioning whose simulated replay matches the
+        static evaluator exactly."""
+        experiment = PartitioningExperiment(bundle)
+        run = experiment.run(
+            "jecb", {"num_partitions": 4}, execute=True
+        )
+        assert 0.0 <= run.cost <= 1.0
+        sim = run.cluster_metrics
+        assert sim is not None
+        assert sim.committed == len(experiment.testing_trace)
+        assert sim.committed_distributed == run.report.distributed_transactions
+        assert sim.distributed_fraction == run.cost
 
 
 class TestSynthetic:
