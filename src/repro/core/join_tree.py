@@ -9,6 +9,7 @@ tuples map to a *single* root value.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
 
@@ -16,6 +17,7 @@ from repro.errors import PartitioningError
 from repro.schema.attribute import Attr
 from repro.core.join_path import JoinPath
 from repro.core.path_eval import JoinPathEvaluator
+from repro.trace.columnar import ColumnarClassTrace
 from repro.trace.events import Trace, TransactionTrace
 
 
@@ -93,30 +95,54 @@ class JoinTree:
     ) -> bool:
         """Definition 7: every transaction maps to exactly one root value.
 
-        Refutation short-circuits: the scan stops at the first tuple whose
-        root value misses or disagrees, without finishing the transaction
-        or the rest of the trace — one bad Payment transaction refutes a
-        TPC-C tree after a handful of evaluations instead of thousands.
+        Columnar trace views whose interned columns belong to the
+        evaluator's engine are checked by the vectorized kernel (identical
+        verdicts, see :meth:`ColumnarEngine.tree_is_mapping_independent`);
+        everything else takes the object scan below.
+
+        Refutation short-circuits the object scan: it stops at the first
+        tuple whose root value misses or disagrees, without finishing the
+        transaction or the rest of the trace — one bad Payment transaction
+        refutes a TPC-C tree after a handful of evaluations instead of
+        thousands.
         """
+        started = time.perf_counter()
         evaluator.mi_tests += 1
+        engine = getattr(evaluator, "engine", None)
+        if (
+            engine is not None
+            and isinstance(trace, ColumnarClassTrace)
+            and trace.parent is engine.ctrace
+        ):
+            verdict, probes = engine.tree_is_mapping_independent(
+                self, trace, evaluator.cache_stats
+            )
+            evaluator.evaluations += probes
+            if not verdict:
+                evaluator.mi_refuted += 1
+            evaluator.mi_seconds += time.perf_counter() - started
+            return verdict
         paths = self.paths
         sentinel = _NO_VALUE
-        for txn in trace:
-            first = sentinel
-            for table, key in txn.tuples:
-                path = paths.get(table)
-                if path is None:
-                    continue
-                value = evaluator.evaluate(path, key)
-                if value is None or (
-                    first is not sentinel
-                    and value is not first
-                    and value != first
-                ):
-                    evaluator.mi_refuted += 1
-                    return False
-                first = value
-        return True
+        try:
+            for txn in trace:
+                first = sentinel
+                for table, key in txn.tuples:
+                    path = paths.get(table)
+                    if path is None:
+                        continue
+                    value = evaluator.evaluate(path, key)
+                    if value is None or (
+                        first is not sentinel
+                        and value is not first
+                        and value != first
+                    ):
+                        evaluator.mi_refuted += 1
+                        return False
+                    first = value
+            return True
+        finally:
+            evaluator.mi_seconds += time.perf_counter() - started
 
     def restrict(self, tables: Iterable[str]) -> "JoinTree":
         """The tree covering only *tables* (a workload-elimination view)."""

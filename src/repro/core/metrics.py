@@ -69,6 +69,8 @@ class ClassMetrics:
     mi_tests: int = 0
     mi_refuted: int = 0
     path_evaluations: int = 0
+    #: wall time spent inside mapping-independence tests (both engines)
+    mi_seconds: float = 0.0
     cache: CacheStats = field(default_factory=CacheStats)
 
     def to_dict(self) -> dict[str, Any]:
@@ -80,6 +82,7 @@ class ClassMetrics:
             "mi_tests": self.mi_tests,
             "mi_refuted": self.mi_refuted,
             "path_evaluations": self.path_evaluations,
+            "mi_seconds": self.mi_seconds,
             "cache": self.cache.to_dict(),
         }
 
@@ -95,10 +98,19 @@ class SearchMetrics:
 
     workers: int = 1
     parallel: bool = False
+    #: which path-evaluation engine ran ("columnar" or "object")
+    engine: str = "object"
     phase1_seconds: float = 0.0
     phase2_seconds: float = 0.0
     phase3_seconds: float = 0.0
     total_seconds: float = 0.0
+    #: stage timers — building the columnar trace (interning included in
+    #: ``intern_seconds``), mapping-independence testing summed over
+    #: classes, and Phase 3's Definition-5/6 cost evaluation
+    trace_build_seconds: float = 0.0
+    intern_seconds: float = 0.0
+    mi_seconds: float = 0.0
+    cost_eval_seconds: float = 0.0
     classes_searched: int = 0
     trees_examined: int = 0
     trees_pruned: int = 0
@@ -119,6 +131,7 @@ class SearchMetrics:
         self.mi_tests += metrics.mi_tests
         self.mi_refuted += metrics.mi_refuted
         self.path_evaluations += metrics.path_evaluations
+        self.mi_seconds += metrics.mi_seconds
         self.evaluator_cache.merge(metrics.cache)
 
     def class_metrics(self, name: str) -> ClassMetrics:
@@ -135,10 +148,15 @@ class SearchMetrics:
         return {
             "workers": self.workers,
             "parallel": self.parallel,
+            "engine": self.engine,
             "phase1_seconds": self.phase1_seconds,
             "phase2_seconds": self.phase2_seconds,
             "phase3_seconds": self.phase3_seconds,
             "total_seconds": self.total_seconds,
+            "trace_build_seconds": self.trace_build_seconds,
+            "intern_seconds": self.intern_seconds,
+            "mi_seconds": self.mi_seconds,
+            "cost_eval_seconds": self.cost_eval_seconds,
             "classes_searched": self.classes_searched,
             "trees_examined": self.trees_examined,
             "trees_pruned": self.trees_pruned,
@@ -157,7 +175,11 @@ class SearchMetrics:
             f"search: {self.total_seconds:.2f}s total "
             f"(phase1 {self.phase1_seconds:.2f}s, "
             f"phase2 {self.phase2_seconds:.2f}s [{mode}], "
-            f"phase3 {self.phase3_seconds:.2f}s)",
+            f"phase3 {self.phase3_seconds:.2f}s) [{self.engine} engine]",
+            f"stages: trace-build {self.trace_build_seconds:.3f}s "
+            f"(interning {self.intern_seconds:.3f}s), "
+            f"MI testing {self.mi_seconds:.3f}s, "
+            f"cost eval {self.cost_eval_seconds:.3f}s",
             f"phase2: {self.classes_searched} classes, "
             f"{self.trees_examined} trees examined, "
             f"{self.trees_pruned} pruned, "

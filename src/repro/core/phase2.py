@@ -21,14 +21,24 @@ from repro.schema.database import DatabaseSchema
 from repro.sql.analyzer import StatementAnalysis, analyze_procedure
 from repro.procedures.procedure import StoredProcedure
 from repro.storage.database import Database
+from repro.trace.columnar import ColumnarClassTrace
 from repro.trace.events import Trace
 from repro.trace.splitter import train_test_split
 from repro.core.join_graph import JoinGraph
 from repro.core.join_tree import JoinTree, prune_compatible_trees
-from repro.core.metrics import ClassMetrics
-from repro.core.path_eval import JoinPathEvaluator, SnapshotIndex
+from repro.core.metrics import CacheStats, ClassMetrics
+from repro.core.path_eval import (
+    ColumnarEngine,
+    ColumnarPathEvaluator,
+    JoinPathEvaluator,
+    SnapshotIndex,
+    value_luts_for,
+)
 from repro.core.solution import PARTIAL, TOTAL, ClassSolution
 from repro.core.statistics import evaluate_fallback
+
+#: sentinel distinguishing "key not in the batch LUT" from a ``None`` value
+_MISS = object()
 
 
 @dataclass
@@ -159,6 +169,10 @@ def eliminate_until_mi(
         # Blame: in each violating transaction, the offenders are the
         # tables holding values different from the transaction's modal
         # root value (remote accesses deviate; the home tables agree).
+        # The loop keeps the object path's iteration order (txn.tuples is
+        # a set, and downstream set iteration is order-sensitive); only
+        # the per-access value lookup is batched when columnar-backed.
+        luts = value_luts_for(evaluator, trace, candidate.paths)
         offenders: dict[str, int] = {t: 0 for t in tables}
         for txn in trace:
             per_table: dict[str, set] = {}
@@ -167,7 +181,12 @@ def eliminate_until_mi(
                 path = candidate.paths.get(table)
                 if path is None:
                     continue
-                value = evaluator.evaluate(path, key)
+                if luts is None:
+                    value = evaluator.evaluate(path, key)
+                else:
+                    value = luts[table].get(key, _MISS)
+                    if value is _MISS:
+                        value = evaluator.evaluate(path, key)
                 if value is None:
                     broken.add(table)
                 else:
@@ -261,12 +280,18 @@ def partition_class(
     num_partitions: int,
     config: Phase2Config | None = None,
     snapshots: SnapshotIndex | None = None,
+    engine: ColumnarEngine | None = None,
+    mi_verdicts: dict[int, bool] | None = None,
 ) -> ClassResult:
     """Find total and partial solutions for one transaction class.
 
     *snapshots* optionally shares one materialized per-table snapshot index
     across classes (the serial partitioner passes one for the whole run; a
-    process worker builds one per process).
+    process worker builds one per process). When *engine* is given and
+    *class_trace* is a columnar view of the engine's trace, path
+    evaluation runs on the interned columns instead. *mi_verdicts* feeds
+    back precomputed main-loop mapping-independence verdicts (keyed by
+    enumeration index) from tree-chunk workers.
     """
     started = time.perf_counter()
     config = config or Phase2Config()
@@ -284,15 +309,14 @@ def partition_class(
         metrics.wall_seconds = time.perf_counter() - started
         return result
 
-    evaluator = JoinPathEvaluator(
-        database,
-        cache_size=config.evaluator_cache_size,
-        snapshots=snapshots,
+    evaluator = _class_evaluator(
+        class_trace, database, config, snapshots, engine
     )
     try:
         return _search_class(
             schema, procedure, class_trace, database,
             num_partitions, config, result, evaluator,
+            mi_verdicts=mi_verdicts,
         )
     finally:
         metrics.wall_seconds = time.perf_counter() - started
@@ -300,7 +324,29 @@ def partition_class(
         metrics.mi_tests = evaluator.mi_tests
         metrics.mi_refuted = evaluator.mi_refuted
         metrics.path_evaluations = evaluator.evaluations
+        metrics.mi_seconds = evaluator.mi_seconds
         metrics.cache = evaluator.cache_stats
+
+
+def _class_evaluator(
+    class_trace: Trace,
+    database: Database,
+    config: Phase2Config,
+    snapshots: SnapshotIndex | None,
+    engine: ColumnarEngine | None,
+):
+    """Columnar adapter when the trace is a view of the engine's columns."""
+    if (
+        engine is not None
+        and isinstance(class_trace, ColumnarClassTrace)
+        and class_trace.parent is engine.ctrace
+    ):
+        return ColumnarPathEvaluator(engine)
+    return JoinPathEvaluator(
+        database,
+        cache_size=config.evaluator_cache_size,
+        snapshots=snapshots,
+    )
 
 
 def _pruned(metrics: ClassMetrics, trees: list[JoinTree]) -> list[JoinTree]:
@@ -319,6 +365,7 @@ def _search_class(
     config: Phase2Config,
     result: ClassResult,
     evaluator: JoinPathEvaluator,
+    mi_verdicts: dict[int, bool] | None = None,
 ) -> ClassResult:
     graph = result.graph
     metrics = result.metrics
@@ -329,13 +376,22 @@ def _search_class(
         mi_trees: list[JoinTree] = []
         examined: list[JoinTree] = []
         first_per_root: list[JoinTree] = []
+        tree_index = 0
         for root in roots:
             trees = enumerate_trees(graph, root, config)
             if trees:
                 first_per_root.append(trees[0])
             for tree in trees:
                 examined.append(tree)
-                if tree.is_mapping_independent(class_trace, evaluator):
+                if mi_verdicts is not None and tree_index in mi_verdicts:
+                    # Chunk workers already ran (and counted) this test.
+                    independent = mi_verdicts[tree_index]
+                else:
+                    independent = tree.is_mapping_independent(
+                        class_trace, evaluator
+                    )
+                tree_index += 1
+                if independent:
                     mi_trees.append(tree)
         result.trees_examined = len(examined)
         mi_trees = list(dict.fromkeys(mi_trees))  # drop exact duplicates
@@ -418,7 +474,12 @@ def _statistics_solutions(
     """Section 5.3 fallback: accept a lookup mapping only if meaningful."""
     if len(class_trace) < 4:
         return []
-    train, validation = train_test_split(class_trace, 0.5)
+    if isinstance(class_trace, ColumnarClassTrace):
+        # Columnar views split into sub-views (same accumulator walk as
+        # train_test_split, so both engines pick the same transactions).
+        train, validation = class_trace.split(0.5)
+    else:
+        train, validation = train_test_split(class_trace, 0.5)
     best: ClassSolution | None = None
     best_cost = float("inf")
     for tree in trees:
@@ -437,3 +498,80 @@ def _statistics_solutions(
                 class_name, tree, TOTAL, outcome.mapping, False
             )
     return [best] if best is not None else []
+
+
+# ----------------------------------------------------------------------
+# tree-chunked mapping-independence testing (parallel Phase 2)
+# ----------------------------------------------------------------------
+@dataclass
+class MIChunk:
+    """One worker's share of a dominant class's main-loop MI tests.
+
+    ``verdicts`` maps the tree's deterministic enumeration index (roots in
+    ``find_roots`` order, trees in ``enumerate_trees`` order) to its
+    Definition-7 verdict; the parent consumes them through
+    ``partition_class(..., mi_verdicts=...)`` and folds the counters back
+    so per-class metrics match a serial run exactly.
+    """
+
+    class_name: str
+    chunk_index: int
+    chunk_count: int
+    verdicts: dict[int, bool] = field(default_factory=dict)
+    mi_tests: int = 0
+    mi_refuted: int = 0
+    path_evaluations: int = 0
+    mi_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    cache: CacheStats = field(default_factory=CacheStats)
+
+
+def mi_chunk_verdicts(
+    schema: DatabaseSchema,
+    procedure: StoredProcedure,
+    class_trace: Trace,
+    replicated: set[str],
+    database: Database,
+    config: Phase2Config,
+    chunk_index: int,
+    chunk_count: int,
+    snapshots: SnapshotIndex | None = None,
+    engine: ColumnarEngine | None = None,
+) -> MIChunk:
+    """Test every ``enumeration_index % chunk_count == chunk_index`` tree.
+
+    Re-derives the class's join graph (deterministic from schema + SQL +
+    replicated set) and replays the main loop's enumeration, testing only
+    this chunk's share.
+    """
+    started = time.perf_counter()
+    chunk = MIChunk(procedure.name, chunk_index, chunk_count)
+    config = config or Phase2Config()
+    analysis = analyze_procedure(procedure.statements, schema)
+    graph = JoinGraph.from_analysis(
+        schema,
+        analysis,
+        replicated,
+        include_implicit=config.include_implicit_joins,
+    )
+    if not graph.partitioned_tables:
+        chunk.wall_seconds = time.perf_counter() - started
+        return chunk
+    evaluator = _class_evaluator(
+        class_trace, database, config, snapshots, engine
+    )
+    tree_index = 0
+    for root in graph.find_roots():
+        for tree in enumerate_trees(graph, root, config):
+            if tree_index % chunk_count == chunk_index:
+                chunk.verdicts[tree_index] = tree.is_mapping_independent(
+                    class_trace, evaluator
+                )
+            tree_index += 1
+    chunk.mi_tests = evaluator.mi_tests
+    chunk.mi_refuted = evaluator.mi_refuted
+    chunk.path_evaluations = evaluator.evaluations
+    chunk.mi_seconds = evaluator.mi_seconds
+    chunk.cache = evaluator.cache_stats
+    chunk.wall_seconds = time.perf_counter() - started
+    return chunk

@@ -89,6 +89,8 @@ class Phase3Result:
     reduced_search_space: int
     #: wall-clock seconds of the whole combine step (instrumentation)
     wall_seconds: float = 0.0
+    #: seconds spent in Definition-5/6 cost evaluation (stage timer)
+    cost_eval_seconds: float = 0.0
 
     def summary(self) -> str:
         lines = [
@@ -231,8 +233,15 @@ def combine(
     global_trace: Trace,
     num_partitions: int,
     config: Phase3Config | None = None,
+    *,
+    columnar=None,
 ) -> Phase3Result:
-    """Run the full Phase-3 search and return the best global solution."""
+    """Run the full Phase-3 search and return the best global solution.
+
+    *columnar* optionally passes the run's :class:`ColumnarEngine`; cost
+    evaluation then runs on the interned columns whenever *global_trace*
+    is the trace the engine was built from.
+    """
     started = time.perf_counter()
     config = config or Phase3Config()
     lattice = AttributeLattice(schema)
@@ -252,7 +261,7 @@ def combine(
                 all_attrs.append(entry.attribute)
     candidates = lattice.coarsest(sorted(all_attrs))
 
-    evaluator = PartitioningEvaluator(database)
+    evaluator = PartitioningEvaluator(database, columnar=columnar)
     evaluated: list[EvaluatedCombination] = []
     for attribute in candidates:
         shared_mapping: MappingFunction | None = None
@@ -323,4 +332,5 @@ def combine(
         naive_search_space=naive_space,
         reduced_search_space=len(evaluated),
         wall_seconds=time.perf_counter() - started,
+        cost_eval_seconds=evaluator.eval_seconds,
     )

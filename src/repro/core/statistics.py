@@ -21,7 +21,7 @@ from repro.core.mapping import (
     MappingFunction,
     RangeMapping,
 )
-from repro.core.path_eval import JoinPathEvaluator
+from repro.core.path_eval import JoinPathEvaluator, value_luts_for
 from repro.core.solution import DatabasePartitioning
 from repro.evaluation.evaluator import PartitioningEvaluator
 from repro.graphs.mincut import build_coaccess_graph, partition_graph
@@ -52,10 +52,21 @@ class FallbackResult:
         )
 
 
+#: sentinel distinguishing "key not in the batch LUT" from a ``None`` value
+_MISS = object()
+
+
 def transaction_root_values(
     tree: JoinTree, trace: Trace, evaluator: JoinPathEvaluator
 ) -> list[set[Any]]:
-    """Per-transaction sets of root values (unroutable tuples skipped)."""
+    """Per-transaction sets of root values (unroutable tuples skipped).
+
+    The iteration order over ``txn.tuples`` is preserved exactly — the
+    value sets feed the co-access graph whose node order the min-cut's
+    seeded shuffles consume — so the columnar fast path only swaps the
+    per-access ``evaluate`` call for a batch-built dict lookup.
+    """
+    luts = value_luts_for(evaluator, trace, tree.paths)
     groups: list[set[Any]] = []
     for txn in trace:
         values: set[Any] = set()
@@ -63,7 +74,12 @@ def transaction_root_values(
             path = tree.paths.get(table)
             if path is None:
                 continue
-            value = evaluator.evaluate(path, key)
+            if luts is None:
+                value = evaluator.evaluate(path, key)
+            else:
+                value = luts[table].get(key, _MISS)
+                if value is _MISS:
+                    value = evaluator.evaluate(path, key)
             if value is not None:
                 values.add(value)
         if values:

@@ -120,6 +120,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the simulated-cluster replay (ClusterMetrics output)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile each experiment: per-stage seconds from the search "
+        "metrics plus the top cProfile entries by cumulative time",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -137,10 +143,72 @@ def main(argv: list[str] | None = None) -> int:
         if args.seed is not None:
             kwargs["seed"] = args.seed
         print(f"\n== {name} ==")
-        headers, rows = runner(**kwargs)
+        if args.profile:
+            headers, rows = _profiled(runner, kwargs)
+        else:
+            headers, rows = runner(**kwargs)
         print(f"-- {time.time() - started:.1f}s --")
         print(_render(headers, rows))
     return 0
+
+
+#: stage-timer keys reported by ``--profile`` (in SearchMetrics order)
+_STAGE_KEYS = (
+    "phase1_seconds",
+    "phase2_seconds",
+    "phase3_seconds",
+    "trace_build_seconds",
+    "intern_seconds",
+    "mi_seconds",
+    "cost_eval_seconds",
+    "total_seconds",
+)
+
+
+def _profiled(runner, kwargs: dict):
+    """Run one experiment under cProfile and dump stage + hotspot timings.
+
+    Stage seconds come from the run's own :class:`SearchMetrics` stage
+    timers (captured via a monkeypatched ``SearchMetrics.summary``, which
+    every metrics-printing run calls); the cProfile block shows where the
+    interpreter actually spent its time.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    from repro.core import metrics as metrics_module
+
+    captured: list[dict] = []
+    original_summary = metrics_module.SearchMetrics.summary
+
+    def capturing_summary(self):
+        captured.append(self.to_dict())
+        return original_summary(self)
+
+    profiler = cProfile.Profile()
+    metrics_module.SearchMetrics.summary = capturing_summary
+    try:
+        profiler.enable()
+        result = runner(**kwargs)
+        profiler.disable()
+    finally:
+        metrics_module.SearchMetrics.summary = original_summary
+
+    for run_index, data in enumerate(captured):
+        engine = data.get("engine", "object")
+        stages = ", ".join(
+            f"{key[:-8]} {data.get(key, 0.0):.3f}s" for key in _STAGE_KEYS
+        )
+        print(f"[profile] run {run_index} ({engine} engine): {stages}")
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(15)
+    print("[profile] top cProfile entries (cumulative):")
+    for line in buffer.getvalue().splitlines():
+        if line.strip():
+            print(f"  {line}")
+    return result
 
 
 if __name__ == "__main__":

@@ -9,6 +9,13 @@ per-class homogeneous streams plus train/test halves.
 
 from repro.trace.events import TransactionTrace, Trace, TupleAccess
 from repro.trace.collector import TraceCollector
+from repro.trace.columnar import (
+    ColumnarClassTrace,
+    ColumnarSnapshot,
+    ColumnarTrace,
+    SharedColumnarTrace,
+    columnar_available,
+)
 from repro.trace.stats import TableUsage, classify_tables
 from repro.trace.splitter import split_by_class, subsample, train_test_split
 
@@ -17,6 +24,11 @@ __all__ = [
     "TransactionTrace",
     "Trace",
     "TraceCollector",
+    "ColumnarTrace",
+    "ColumnarClassTrace",
+    "ColumnarSnapshot",
+    "SharedColumnarTrace",
+    "columnar_available",
     "TableUsage",
     "classify_tables",
     "split_by_class",

@@ -13,6 +13,7 @@ Keys serialize as JSON arrays and are restored as tuples.
 from __future__ import annotations
 
 import json
+import sys
 from typing import IO, Iterable
 
 from repro.errors import WorkloadError
@@ -35,9 +36,12 @@ def transaction_to_dict(txn: TransactionTrace) -> dict:
 
 def transaction_from_dict(data: dict) -> TransactionTrace:
     try:
-        txn = TransactionTrace(int(data["id"]), str(data["class"]))
+        # Intern the names JSON materializes fresh on every line: a large
+        # trace repeats each table/class name once per access, and keeping
+        # millions of equal-but-distinct strings is pure churn.
+        txn = TransactionTrace(int(data["id"]), sys.intern(str(data["class"])))
         for table, key, write in data["a"]:
-            txn.record(str(table), tuple(key), bool(write))
+            txn.record(sys.intern(str(table)), tuple(key), bool(write))
         arguments = data.get("args")
         if arguments is not None:
             if not isinstance(arguments, dict):

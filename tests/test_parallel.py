@@ -70,7 +70,9 @@ class TestSerialParallelEquivalence:
     def test_worker_count_capped_by_task_count(self, tatp_bundle):
         result = _run(tatp_bundle, workers=64)
         classes = len(result.class_results)
-        assert result.metrics.workers <= classes
+        # The dominant class may be tree-chunked into up to 8 extra tasks;
+        # beyond that, workers are capped by the task count.
+        assert result.metrics.workers <= classes + 7
 
     def test_parallel_metrics_counters_survive_pickling(self, tatp_bundle):
         serial = _run(tatp_bundle, workers=1)
