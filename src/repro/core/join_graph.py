@@ -46,6 +46,7 @@ class JoinGraph:
         analysis: StatementAnalysis,
         replicated: Iterable[str],
         include_implicit: bool = True,
+        implicit_edges: frozenset[frozenset[Attr]] | None = None,
     ) -> "JoinGraph":
         """Build the class's join graph from its static SQL analysis.
 
@@ -53,6 +54,14 @@ class JoinGraph:
         they participate as join-path way stations but need no partitioning.
         Setting ``include_implicit=False`` disables SELECT-clause implicit
         join discovery (used by the ablation benchmarks).
+
+        *implicit_edges*, when provided, switches implicit discovery from
+        the coarse accessed-attribute pool to **witnessed** dataflow edges
+        (see :mod:`repro.sql.dataflow`): a foreign key counts as an
+        implicit join only if each of its component attribute pairs is an
+        edge — i.e. the procedure's def-use chains actually carry a value
+        between the two sides. Explicit ON/WHERE equalities are still
+        honoured via ``analysis.explicit_joins`` regardless.
         """
         tables = frozenset(analysis.tables)
         replicated_set = set(replicated)
@@ -65,8 +74,12 @@ class JoinGraph:
                 continue
             if cls._explicitly_joined(fk, analysis.explicit_joins):
                 fks.append(fk)
-            elif include_implicit and cls._implicitly_joined(fk, accessed_attrs):
-                fks.append(fk)
+            elif include_implicit:
+                if implicit_edges is not None:
+                    if cls._witnessed(fk, implicit_edges):
+                        fks.append(fk)
+                elif cls._implicitly_joined(fk, accessed_attrs):
+                    fks.append(fk)
 
         # Candidate partitioning attributes come from WHERE clauses only
         # (Section 5.1); SELECT attributes participate in implicit-join
@@ -89,6 +102,19 @@ class JoinGraph:
                 {Attr(fk.table, src_col), Attr(fk.ref_table, dst_col)}
             )
             if pair not in joins:
+                return False
+        return True
+
+    @staticmethod
+    def _witnessed(
+        fk: ForeignKey, edges: frozenset[frozenset[Attr]]
+    ) -> bool:
+        """Every FK component pair is a witnessed dataflow equality edge."""
+        for src_col, dst_col in zip(fk.columns, fk.ref_columns):
+            pair = frozenset(
+                {Attr(fk.table, src_col), Attr(fk.ref_table, dst_col)}
+            )
+            if pair not in edges:
                 return False
         return True
 

@@ -217,6 +217,23 @@ def _tracks_to_destination(x: "Attr", b: JoinPath, start: int) -> bool:
     return frozenset({tracked}) == b.nodes[-1]
 
 
+def root_source_attr(path: JoinPath) -> "Attr | None":
+    """Which source attribute does *path*'s destination actually carry?
+
+    A join path partitions its source table by the value of its destination
+    attribute. Walking every source-node attribute forward through the
+    path's steps (role-preservingly, like :func:`_tracks_to_destination`)
+    identifies the unique source attribute whose value *is* the destination
+    value — e.g. a ``CUSTOMER → ... → WAREHOUSE.W_ID`` path roots at
+    ``C_W_ID``. Returns ``None`` when no source attribute tracks through
+    (the placement then depends on a mid-path attribute).
+    """
+    for x in sorted(path.source):
+        if _tracks_to_destination(x, path, 0):
+            return x
+    return None
+
+
 def paths_compatible(p1: JoinPath, p2: JoinPath, attr_compat=None) -> str | None:
     """Definition-13 compatibility of two join paths from the same source.
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, fields
 from repro.schema.attribute import Attr
 from repro.schema.database import DatabaseSchema
 from repro.sql.analyzer import StatementAnalysis, analyze_procedure
+from repro.sql.dataflow import analyze_dataflow
 from repro.procedures.procedure import StoredProcedure
 from repro.storage.database import Database
 from repro.trace.columnar import ColumnarClassTrace
@@ -48,6 +49,11 @@ class Phase2Config:
     max_paths_per_table: int = 32
     max_trees_per_root: int = 64
     include_implicit_joins: bool = True
+    #: Use def-use dataflow (:mod:`repro.sql.dataflow`) to witness implicit
+    #: joins instead of the coarse SELECT×WHERE accessed-attribute pool.
+    #: Witnessed edges are always a subset of the pool, so this only ever
+    #: removes false-positive candidate joins.
+    dataflow_joins: bool = True
     mine_partial_solutions: bool = True
     statistics_fallback: bool = True
     fallback_seed: int = 7
@@ -122,6 +128,40 @@ class ClassResult:
             f"{self.class_name}: total={fmt(self.total_roots)}, "
             f"partial={fmt(self.partial_roots)}"
         )
+
+
+def class_join_graph(
+    schema: DatabaseSchema,
+    procedure: StoredProcedure,
+    replicated: set[str],
+    config: Phase2Config,
+) -> tuple[StatementAnalysis, JoinGraph]:
+    """Step 1: the class's analysis and join graph, deterministically.
+
+    Used by both :func:`partition_class` and :func:`mi_chunk_verdicts` so
+    parallel tree-chunk workers replay exactly the graph the main loop
+    builds. With ``config.dataflow_joins`` the implicit-join pool is the
+    witnessed def-use edge set of :func:`repro.sql.dataflow.analyze_dataflow`
+    rather than the accessed-attribute cross product.
+    """
+    if config.dataflow_joins:
+        flow = analyze_dataflow(procedure, schema)
+        # ``flow.merged`` is bit-identical to ``analyze_procedure``'s merge
+        # of the same statements — everything downstream is unchanged.
+        return flow.merged, JoinGraph.from_analysis(
+            schema,
+            flow.merged,
+            replicated,
+            include_implicit=config.include_implicit_joins,
+            implicit_edges=flow.implicit_edges,
+        )
+    analysis = analyze_procedure(procedure.statements, schema)
+    return analysis, JoinGraph.from_analysis(
+        schema,
+        analysis,
+        replicated,
+        include_implicit=config.include_implicit_joins,
+    )
 
 
 def enumerate_trees(
@@ -296,13 +336,7 @@ def partition_class(
     started = time.perf_counter()
     config = config or Phase2Config()
     metrics = ClassMetrics(procedure.name)
-    analysis = analyze_procedure(procedure.statements, schema)
-    graph = JoinGraph.from_analysis(
-        schema,
-        analysis,
-        replicated,
-        include_implicit=config.include_implicit_joins,
-    )
+    analysis, graph = class_join_graph(schema, procedure, replicated, config)
     result = ClassResult(procedure.name, analysis, graph, metrics=metrics)
     if not graph.partitioned_tables:
         result.read_only = True
@@ -547,13 +581,7 @@ def mi_chunk_verdicts(
     started = time.perf_counter()
     chunk = MIChunk(procedure.name, chunk_index, chunk_count)
     config = config or Phase2Config()
-    analysis = analyze_procedure(procedure.statements, schema)
-    graph = JoinGraph.from_analysis(
-        schema,
-        analysis,
-        replicated,
-        include_implicit=config.include_implicit_joins,
-    )
+    _, graph = class_join_graph(schema, procedure, replicated, config)
     if not graph.partitioned_tables:
         chunk.wall_seconds = time.perf_counter() - started
         return chunk

@@ -120,7 +120,13 @@ class Executor:
     def _execute_select(
         self, stmt: ast.Select, params: MutableMapping[str, Any]
     ) -> ExecResult:
+        stmt = ast.dealias(stmt)
         tables = list(stmt.tables)
+        if len(set(tables)) != len(tables):
+            raise ExecutionError(
+                "self-joins are supported by the analyzer but not by the "
+                f"executor (FROM lists {', '.join(tables)})"
+            )
         plans: dict[str, _TablePlan] = {t: _TablePlan() for t in tables}
         join_conds: list[tuple[tuple[str, str], tuple[str, str]]] = []
         for join in stmt.joins:
@@ -423,6 +429,8 @@ class Executor:
         self, stmt: ast.Insert, params: MutableMapping[str, Any]
     ) -> ExecResult:
         table = self.database.table(stmt.table)
+        if stmt.select is not None:
+            return self._execute_insert_select(stmt, table, params)
         row: dict[str, Any] = {c: None for c in table.schema.column_names}
         for column, expr in zip(stmt.columns, stmt.values):
             if column not in row:
@@ -431,6 +439,35 @@ class Executor:
         key = table.insert(row)
         self._record(stmt.table, key, is_write=True)
         return ExecResult(affected=1)
+
+    def _execute_insert_select(
+        self, stmt: ast.Insert, table, params: MutableMapping[str, Any]
+    ) -> ExecResult:
+        """INSERT ... SELECT: run the source query, insert one row per result.
+
+        The SELECT's projected column order matches the INSERT column list
+        (the parser enforces equal lengths and forbids ``*``), so rows are
+        mapped positionally — aliases in the source query do not matter.
+        """
+        assert stmt.select is not None
+        source = self._execute_select(stmt.select, params)
+        count = 0
+        for out_row in source.rows:
+            values = list(out_row.values())
+            if len(values) != len(stmt.columns):
+                raise ExecutionError(
+                    f"INSERT ... SELECT produced {len(values)} values for "
+                    f"{len(stmt.columns)} columns"
+                )
+            row: dict[str, Any] = {c: None for c in table.schema.column_names}
+            for column, value in zip(stmt.columns, values):
+                if column not in row:
+                    raise ExecutionError(f"no column {column} in {stmt.table}")
+                row[column] = value
+            key = table.insert(row)
+            self._record(stmt.table, key, is_write=True)
+            count += 1
+        return ExecResult(affected=count)
 
     def _execute_update(
         self, stmt: ast.Update, params: MutableMapping[str, Any]

@@ -126,7 +126,25 @@ def main(argv: list[str] | None = None) -> int:
         help="profile each experiment: per-stage seconds from the search "
         "metrics plus the top cProfile entries by cumulative time",
     )
+    parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="statically lint every bundled workload before running "
+        "(see python -m repro.lint for the standalone tool)",
+    )
     args = parser.parse_args(argv)
+
+    if args.lint:
+        from repro.lint import RULES, lint_workload, render_human
+        from repro.lint.workloads import WORKLOADS
+
+        findings = [
+            finding
+            for spec in WORKLOADS.values()
+            for finding in lint_workload(spec).findings
+        ]
+        print("== lint ==")
+        print(render_human(findings, RULES))
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -1,0 +1,54 @@
+"""Workload linter: static diagnostics over stored-procedure SQL.
+
+``python -m repro.lint --workload tpcc`` runs the static rules;
+``--solution`` adds solution-aware rules against a JECB partitioning, and
+``--validate`` scores the static forced-distributed predictions against
+the dynamic evaluator. See DESIGN.md §11.
+"""
+
+from repro.lint.engine import LintRun, lint_workload
+from repro.lint.findings import (
+    Finding,
+    RuleInfo,
+    Severity,
+    render_human,
+    render_sarif,
+    sort_findings,
+)
+from repro.lint.predictor import (
+    Anchor,
+    DistributedPrediction,
+    predict_distributed,
+)
+from repro.lint.rules import RULES, LintContext, run_rules
+from repro.lint.validate import (
+    ClassVerdict,
+    ValidationReport,
+    rerooted_variant,
+    score_predictions,
+)
+from repro.lint.workloads import WORKLOADS, WorkloadSpec, resolve_workloads
+
+__all__ = [
+    "Anchor",
+    "ClassVerdict",
+    "DistributedPrediction",
+    "Finding",
+    "LintContext",
+    "LintRun",
+    "RULES",
+    "RuleInfo",
+    "Severity",
+    "ValidationReport",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "lint_workload",
+    "predict_distributed",
+    "render_human",
+    "render_sarif",
+    "rerooted_variant",
+    "resolve_workloads",
+    "run_rules",
+    "score_predictions",
+    "sort_findings",
+]

@@ -1,0 +1,124 @@
+"""Command-line entry point: ``python -m repro.lint``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.lint.engine import lint_workload
+from repro.lint.findings import render_human, render_sarif
+from repro.lint.rules import RULES
+from repro.lint.workloads import resolve_workloads
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Statically lint a benchmark workload's stored procedures: "
+            "routing hazards, dead writes, unwitnessed joins, and — with "
+            "--solution — statically predicted distributed transactions."
+        ),
+    )
+    parser.add_argument(
+        "--workload",
+        default="all",
+        help="workload name(s), comma-separated, or 'all' (default)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (json is SARIF-shaped)",
+    )
+    parser.add_argument(
+        "--solution",
+        action="store_true",
+        help="run JECB on a seeded trace and add solution-aware rules",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help=(
+            "score static forced-distributed predictions against the "
+            "dynamic evaluator (implies --solution)"
+        ),
+    )
+    parser.add_argument(
+        "--partitions", type=int, default=8, help="cluster size k"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="trace-size multiplier for --solution/--validate",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=17, help="trace generation seed"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.0,
+        help=(
+            "distributed-fraction above which a class counts as "
+            "dynamically distributed (--validate)"
+        ),
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("never", "error", "warning"),
+        default="never",
+        help="exit non-zero when findings at/above this severity exist",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    specs = resolve_workloads(args.workload)
+
+    runs = [
+        lint_workload(
+            spec,
+            solution=args.solution,
+            validate=args.validate,
+            partitions=args.partitions,
+            scale=args.scale,
+            seed=args.seed,
+            threshold=args.threshold,
+        )
+        for spec in specs
+    ]
+    findings = [f for run in runs for f in run.findings]
+
+    if args.format == "json":
+        if args.validate:
+            document = {
+                "lint": json.loads(render_sarif(findings, RULES)),
+                "validation": [
+                    run.validation.to_dict()
+                    for run in runs
+                    if run.validation is not None
+                ],
+            }
+            print(json.dumps(document, indent=2, sort_keys=True))
+        else:
+            print(render_sarif(findings, RULES))
+    else:
+        print(render_human(findings, RULES))
+        for run in runs:
+            if run.validation is not None:
+                print(run.validation.describe())
+
+    severities = {f.severity.value for f in findings}
+    if args.fail_on == "error" and "error" in severities:
+        return 1
+    if args.fail_on == "warning" and severities & {"error", "warning"}:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

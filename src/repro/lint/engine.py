@@ -1,0 +1,109 @@
+"""Orchestration: lint one workload statically or against a solution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.partitioner import JECBConfig, JECBPartitioner
+from repro.core.solution import DatabasePartitioning
+from repro.core.phase2 import Phase2Config
+from repro.lint.findings import Finding, sort_findings
+from repro.lint.rules import LintContext, run_rules
+from repro.lint.validate import (
+    ValidationReport,
+    rerooted_variant,
+    score_predictions,
+)
+from repro.lint.workloads import WorkloadSpec
+
+
+@dataclass
+class LintRun:
+    """The linter's output for one workload."""
+
+    workload: str
+    findings: list[Finding] = field(default_factory=list)
+    validation: ValidationReport | None = None
+    #: the JECB solution the solution rules ran against (None for static runs)
+    partitioning: DatabasePartitioning | None = None
+
+
+def lint_workload(
+    spec: WorkloadSpec,
+    solution: bool = False,
+    validate: bool = False,
+    partitions: int = 8,
+    scale: float = 1.0,
+    seed: int = 17,
+    threshold: float = 0.0,
+) -> LintRun:
+    """Lint one bundled workload.
+
+    The default run is purely static — schema plus SQL, no trace, fully
+    deterministic (this is what the golden-file CI check relies on).
+    ``solution=True`` generates a seeded trace, runs JECB on it, and adds
+    the solution rules; ``validate=True`` additionally scores the static
+    forced-distributed predictions against the dynamic evaluator, on both
+    the JECB solution and an adversarially re-rooted variant.
+    """
+    benchmark = spec.factory()
+    run = LintRun(spec.name)
+    if not (solution or validate):
+        context = LintContext.build(
+            spec.name, benchmark.build_schema(), benchmark.build_catalog()
+        )
+        run.findings = sort_findings(run_rules(context))
+        return run
+
+    transactions = max(1, int(spec.default_transactions * scale))
+    bundle = benchmark.generate(transactions, seed=seed)
+    config = JECBConfig(
+        num_partitions=partitions, phase2=Phase2Config(dataflow_joins=True)
+    )
+    result = JECBPartitioner(bundle.database, bundle.catalog, config).run(
+        bundle.trace
+    )
+    context = LintContext.build(
+        spec.name,
+        bundle.database.schema,
+        bundle.catalog,
+        partitioning=result.partitioning,
+    )
+    run.findings = sort_findings(run_rules(context))
+    run.partitioning = result.partitioning
+
+    if validate:
+        report = ValidationReport(threshold)
+        report.verdicts.extend(
+            score_predictions(
+                spec.name,
+                "jecb",
+                context.predictions,
+                result.partitioning,
+                bundle.database,
+                bundle.trace,
+                threshold,
+            )
+        )
+        variant = rerooted_variant(
+            result.partitioning, bundle.database.schema
+        )
+        variant_context = LintContext.build(
+            spec.name,
+            bundle.database.schema,
+            bundle.catalog,
+            partitioning=variant,
+        )
+        report.verdicts.extend(
+            score_predictions(
+                spec.name,
+                "rerooted",
+                variant_context.predictions,
+                variant,
+                bundle.database,
+                bundle.trace,
+                threshold,
+            )
+        )
+        run.validation = report
+    return run

@@ -1,0 +1,169 @@
+"""Diagnostic records and renderers for the workload linter."""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+
+class Severity(enum.Enum):
+    """Finding severity, ordered most severe first."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+    @property
+    def sarif_level(self) -> str:
+        """SARIF §3.27.10 level for this severity."""
+        return {"error": "error", "warning": "warning", "info": "note"}[
+            self.value
+        ]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One linter diagnostic.
+
+    ``statement`` is the stored-procedure statement label the finding
+    anchors to (the procedure's source "span"), or ``None`` for
+    whole-procedure / whole-workload findings. ``hint`` suggests a fix.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    workload: str | None = None
+    procedure: str | None = None
+    statement: str | None = None
+    hint: str | None = None
+
+    @property
+    def location(self) -> str:
+        """``workload::procedure::statement`` logical location."""
+        parts = [
+            part
+            for part in (self.workload, self.procedure, self.statement)
+            if part is not None
+        ]
+        return "::".join(parts) if parts else "<workload>"
+
+    def sort_key(self) -> tuple[int, str, str, str]:
+        return (self.severity.rank, self.rule, self.location, self.message)
+
+    def to_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        for key in ("workload", "procedure", "statement", "hint"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Registry entry describing one lint rule."""
+
+    rule_id: str
+    severity: Severity
+    summary: str
+    #: rules that need a concrete partitioning solution to run
+    needs_solution: bool = False
+
+
+def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
+    return sorted(findings, key=Finding.sort_key)
+
+
+def render_human(
+    findings: Sequence[Finding], rules: Mapping[str, RuleInfo]
+) -> str:
+    """Compiler-style one-line-per-finding report plus a severity tally."""
+    lines: list[str] = []
+    counts = {sev: 0 for sev in Severity}
+    for finding in sort_findings(findings):
+        counts[finding.severity] += 1
+        lines.append(
+            f"{finding.location}: {finding.severity.value}: "
+            f"{finding.message} [{finding.rule}]"
+        )
+        if finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    tally = ", ".join(
+        f"{counts[sev]} {sev.value}{'s' if counts[sev] != 1 else ''}"
+        for sev in Severity
+    )
+    lines.append(f"{len(findings)} findings ({tally})")
+    return "\n".join(lines)
+
+
+def render_sarif(
+    findings: Sequence[Finding], rules: Mapping[str, RuleInfo]
+) -> str:
+    """SARIF-2.1.0-shaped JSON (deterministic key and result order)."""
+    ordered = sort_findings(findings)
+    used = sorted({f.rule for f in ordered} | set(rules))
+    document = {
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/jecb-workload-linter"
+                        ),
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {
+                                    "text": rules[rule_id].summary
+                                    if rule_id in rules
+                                    else rule_id
+                                },
+                                "defaultConfiguration": {
+                                    "level": rules[
+                                        rule_id
+                                    ].severity.sarif_level
+                                    if rule_id in rules
+                                    else "warning"
+                                },
+                            }
+                            for rule_id in used
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": f.rule,
+                        "level": f.severity.sarif_level,
+                        "message": {"text": f.message},
+                        "locations": [
+                            {
+                                "logicalLocations": [
+                                    {"fullyQualifiedName": f.location}
+                                ]
+                            }
+                        ],
+                        **(
+                            {"properties": {"hint": f.hint}}
+                            if f.hint is not None
+                            else {}
+                        ),
+                    }
+                    for f in ordered
+                ],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

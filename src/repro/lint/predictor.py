@@ -1,0 +1,171 @@
+"""Static prediction of distributed transactions from dataflow + solution.
+
+Given a transaction class's def-use dataflow and a concrete
+:class:`~repro.core.solution.DatabasePartitioning`, predict — without any
+trace — whether the class's transactions are forced to be distributed:
+
+* a write to a table the solution replicates is distributed by Definition
+  5 condition 1, unconditionally;
+* each accessed partitioned table is **anchored** to the dataflow
+  equivalence class of the source attribute its placement path actually
+  tracks (see :func:`repro.core.join_path.root_source_attr`). Two tables
+  anchored to *different* classes (or to the same class under different
+  mapping functions) land on partitions derived from values the code never
+  equates — so any call whose values hash apart touches two partitions.
+
+The predictor is deliberately **precision-first**: tables whose placement
+root is not equality-constrained by the class's SQL are left unanchored
+and contribute no evidence, so a "forced distributed" verdict is only
+emitted when the static chains genuinely pin two tables to independent
+values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.join_path import root_source_attr
+from repro.core.mapping import MappingFunction
+from repro.core.solution import DatabasePartitioning
+from repro.schema.attribute import Attr
+from repro.sql.dataflow import ProcedureDataflow
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One accessed table pinned to a dataflow equivalence class."""
+
+    table: str
+    root: Attr
+    class_id: int
+    mapping_key: tuple[str, int]
+
+
+@dataclass(frozen=True)
+class DistributedPrediction:
+    """The static verdict for one class under one partitioning."""
+
+    class_name: str
+    distributed: bool
+    reasons: tuple[str, ...]
+    anchors: tuple[Anchor, ...]
+    replicated_writes: tuple[str, ...]
+    unanchored: tuple[str, ...]
+
+
+def _attr_classes(flow: ProcedureDataflow) -> dict[Attr, int]:
+    """Attr → equivalence-class id from the witnessed edge set."""
+    parent: dict[Attr, Attr] = {}
+
+    def find(a: Attr) -> Attr:
+        root = parent.setdefault(a, a)
+        if root == a:
+            return a
+        top = find(root)
+        parent[a] = top
+        return top
+
+    for pair in sorted(flow.implicit_edges, key=sorted):
+        a, b = sorted(pair)
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+    roots: dict[Attr, int] = {}
+    out: dict[Attr, int] = {}
+    for attr in sorted(parent):
+        root = find(attr)
+        out[attr] = roots.setdefault(root, len(roots))
+    return out
+
+
+def equality_constrained_attrs(flow: ProcedureDataflow) -> frozenset[Attr]:
+    """Attributes the class's SQL pins by equality (to a value or column)."""
+    out: set[Attr] = set()
+    for use in flow.uses:
+        if use.is_equality:
+            assert use.attr is not None
+            out.add(use.attr)
+    for pair in flow.merged.explicit_joins:
+        out |= pair
+    for attr, _ in flow.merged.param_bindings:
+        out.add(attr)
+    return frozenset(out)
+
+
+def _mapping_key(mapping: MappingFunction | None) -> tuple[str, int]:
+    if mapping is None:
+        return ("<none>", 0)
+    return (type(mapping).__name__, mapping.num_partitions)
+
+
+def predict_distributed(
+    flow: ProcedureDataflow,
+    partitioning: DatabasePartitioning,
+) -> DistributedPrediction:
+    """Statically decide whether *flow*'s class is forced distributed."""
+    analysis = flow.merged
+    reasons: list[str] = []
+
+    replicated_writes = tuple(
+        sorted(
+            t
+            for t in analysis.writes
+            if partitioning.solution_for(t).replicated
+        )
+    )
+    for table in replicated_writes:
+        reasons.append(
+            f"writes replicated table {table}: every call is distributed "
+            "(Definition 5, condition 1)"
+        )
+
+    classes = _attr_classes(flow)
+    constrained = equality_constrained_attrs(flow)
+    anchors: list[Anchor] = []
+    unanchored: list[str] = []
+    for table in sorted(analysis.tables):
+        solution = partitioning.solution_for(table)
+        if solution.replicated or solution.path is None:
+            continue
+        root = root_source_attr(solution.path)
+        if root is None or root not in constrained:
+            # The class never pins the value this table's placement hashes;
+            # its rows could live anywhere — no static evidence either way.
+            unanchored.append(table)
+            continue
+        # An attr in no witnessed edge still forms its own singleton class.
+        class_id = classes.get(root)
+        if class_id is None:
+            class_id = -(1 + sorted(constrained).index(root))
+        anchors.append(
+            Anchor(table, root, class_id, _mapping_key(solution.mapping))
+        )
+
+    groups = sorted({(a.class_id, a.mapping_key) for a in anchors})
+    if len(groups) >= 2:
+        by_group: dict[tuple[int, tuple[str, int]], list[Anchor]] = {}
+        for anchor in anchors:
+            by_group.setdefault((anchor.class_id, anchor.mapping_key), []).append(
+                anchor
+            )
+        parts = []
+        for group in groups:
+            members = by_group[group]
+            parts.append(
+                "{"
+                + ", ".join(f"{a.table}←{a.root}" for a in members)
+                + "}"
+            )
+        reasons.append(
+            "accessed tables are pinned to "
+            f"{len(groups)} independent value classes: " + "; ".join(parts)
+        )
+
+    return DistributedPrediction(
+        class_name=flow.procedure_name,
+        distributed=bool(reasons),
+        reasons=tuple(reasons),
+        anchors=tuple(anchors),
+        replicated_writes=replicated_writes,
+        unanchored=tuple(unanchored),
+    )

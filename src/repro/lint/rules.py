@@ -1,0 +1,435 @@
+"""The linter's rule set.
+
+Static rules need only the schema and the procedures' SQL (through the
+def-use dataflow of :mod:`repro.sql.dataflow`); solution rules additionally
+need a concrete :class:`~repro.core.solution.DatabasePartitioning` and fire
+only when one is supplied (``--solution`` / ``--validate``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.core.join_graph import JoinGraph
+from repro.core.join_path import root_source_attr
+from repro.core.solution import DatabasePartitioning
+from repro.schema.attribute import Attr
+from repro.schema.database import DatabaseSchema
+from repro.sql.dataflow import ProcedureDataflow, analyze_dataflow
+from repro.procedures.procedure import ProcedureCatalog, StoredProcedure
+
+from repro.lint.findings import Finding, RuleInfo, Severity
+from repro.lint.predictor import (
+    DistributedPrediction,
+    equality_constrained_attrs,
+    predict_distributed,
+)
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may look at."""
+
+    workload: str
+    schema: DatabaseSchema
+    catalog: ProcedureCatalog
+    flows: dict[str, ProcedureDataflow]
+    #: tables treated as replicated for *static* graph rules: never written
+    #: by any catalogued procedure, or declared read-only in the schema.
+    static_replicated: frozenset[str]
+    #: present only in --solution / --validate runs
+    partitioning: DatabasePartitioning | None = None
+    predictions: dict[str, DistributedPrediction] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        workload: str,
+        schema: DatabaseSchema,
+        catalog: ProcedureCatalog,
+        partitioning: DatabasePartitioning | None = None,
+    ) -> "LintContext":
+        flows = {
+            procedure.name: analyze_dataflow(procedure, schema)
+            for procedure in catalog
+        }
+        written: set[str] = set()
+        for flow in flows.values():
+            written |= flow.merged.writes
+        static_replicated = frozenset(
+            name
+            for name in schema.table_names
+            if name not in written or schema.table(name).read_only
+        )
+        context = cls(
+            workload, schema, catalog, flows, static_replicated, partitioning
+        )
+        if partitioning is not None:
+            for name, flow in flows.items():
+                context.predictions[name] = predict_distributed(
+                    flow, partitioning
+                )
+        return context
+
+    def procedures(self) -> Iterator[StoredProcedure]:
+        for name in sorted(self.flows):
+            yield self.catalog.get(name)
+
+
+Rule = Callable[[LintContext], list[Finding]]
+
+RULES: dict[str, RuleInfo] = {}
+_RULE_FUNCS: dict[str, Rule] = {}
+
+
+def rule(
+    rule_id: str, severity: Severity, summary: str, needs_solution: bool = False
+) -> Callable[[Rule], Rule]:
+    def register(func: Rule) -> Rule:
+        RULES[rule_id] = RuleInfo(rule_id, severity, summary, needs_solution)
+        _RULE_FUNCS[rule_id] = func
+        return func
+
+    return register
+
+
+def run_rules(context: LintContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for rule_id in sorted(_RULE_FUNCS):
+        info = RULES[rule_id]
+        if info.needs_solution and context.partitioning is None:
+            continue
+        findings.extend(_RULE_FUNCS[rule_id](context))
+    return findings
+
+
+def _finding(
+    context: LintContext,
+    rule_id: str,
+    message: str,
+    procedure: str | None = None,
+    statement: str | None = None,
+    hint: str | None = None,
+) -> Finding:
+    return Finding(
+        rule=rule_id,
+        severity=RULES[rule_id].severity,
+        message=message,
+        workload=context.workload,
+        procedure=procedure,
+        statement=statement,
+        hint=hint,
+    )
+
+
+# ----------------------------------------------------------------------
+# static rules
+# ----------------------------------------------------------------------
+@rule(
+    "unbound-parameter",
+    Severity.WARNING,
+    "a declared parameter never binds any attribute by equality",
+)
+def _unbound_parameter(context: LintContext) -> list[Finding]:
+    out: list[Finding] = []
+    for name, flow in sorted(context.flows.items()):
+        bound = {param for _, param in flow.param_closure}
+        for param in flow.params:
+            if param not in bound:
+                out.append(
+                    _finding(
+                        context,
+                        "unbound-parameter",
+                        f"parameter @{param} never reaches an equality "
+                        "predicate, so the router cannot use it",
+                        procedure=name,
+                        hint=(
+                            "constrain a WHERE/INSERT column with "
+                            f"@{param}, or drop the parameter"
+                        ),
+                    )
+                )
+    return out
+
+
+@rule(
+    "unroutable-procedure",
+    Severity.ERROR,
+    "no parameter binds any attribute: every call must broadcast",
+)
+def _unroutable_procedure(context: LintContext) -> list[Finding]:
+    out: list[Finding] = []
+    for name, flow in sorted(context.flows.items()):
+        accesses_partitioned = any(
+            table not in context.static_replicated
+            for table in flow.merged.tables
+        )
+        if not accesses_partitioned:
+            continue
+        bound = {param for _, param in flow.param_closure} & set(flow.params)
+        if not bound:
+            out.append(
+                _finding(
+                    context,
+                    "unroutable-procedure",
+                    "no declared parameter binds any attribute; the online "
+                    "router will broadcast every call",
+                    procedure=name,
+                    hint=(
+                        "add an equality predicate over a parameter, or "
+                        "give the glue a routing key"
+                    ),
+                )
+            )
+    return out
+
+
+@rule(
+    "unknown-local",
+    Severity.WARNING,
+    "a variable is used by SQL but only the glue can define it",
+)
+def _unknown_local(context: LintContext) -> list[Finding]:
+    out: list[Finding] = []
+    for name, flow in sorted(context.flows.items()):
+        for variable in sorted(flow.unknown_locals):
+            statements = sorted(
+                {
+                    use.label
+                    for use in flow.uses
+                    if use.variable == variable
+                }
+            )
+            out.append(
+                _finding(
+                    context,
+                    "unknown-local",
+                    f"variable @{variable} is read by SQL but never "
+                    "assigned by SQL nor declared as a parameter — its "
+                    "value flow is invisible to static analysis",
+                    procedure=name,
+                    statement=statements[0] if statements else None,
+                    hint=(
+                        "declare it as a parameter or assign it with "
+                        "SELECT @var = ... so joins through it are witnessed"
+                    ),
+                )
+            )
+    return out
+
+
+@rule(
+    "dead-write",
+    Severity.INFO,
+    "a SELECT assigns a variable no SQL statement reads",
+)
+def _dead_write(context: LintContext) -> list[Finding]:
+    out: list[Finding] = []
+    for name, flow in sorted(context.flows.items()):
+        for definition in flow.dead_definitions:
+            if flow.straight_line:
+                hint = "drop the assignment or use the variable"
+            else:
+                hint = (
+                    "only the Python glue can read it; if so, this is "
+                    "fine — otherwise drop the assignment"
+                )
+            out.append(
+                _finding(
+                    context,
+                    "dead-write",
+                    f"@{definition.variable} is assigned but no SQL "
+                    "statement reads it afterwards",
+                    procedure=name,
+                    statement=definition.label,
+                    hint=hint,
+                )
+            )
+    return out
+
+
+@rule(
+    "non-equality-candidate",
+    Severity.INFO,
+    "an attribute is only range-constrained, never by equality",
+)
+def _non_equality_candidate(context: LintContext) -> list[Finding]:
+    out: list[Finding] = []
+    for name, flow in sorted(context.flows.items()):
+        constrained = equality_constrained_attrs(flow)
+        range_only: dict[Attr, set[str]] = {}
+        for use in flow.uses:
+            if use.kind == "range" and use.attr is not None:
+                if use.attr not in constrained:
+                    range_only.setdefault(use.attr, set()).add(use.label)
+        for attr in sorted(range_only):
+            labels = sorted(range_only[attr])
+            out.append(
+                _finding(
+                    context,
+                    "non-equality-candidate",
+                    f"{attr} is only constrained by range predicates; "
+                    "range scans cannot route to one partition",
+                    procedure=name,
+                    statement=labels[0],
+                    hint=(
+                        "partition-friendly access needs an equality on "
+                        "the partitioning attribute"
+                    ),
+                )
+            )
+    return out
+
+
+@rule(
+    "no-root-path",
+    Severity.WARNING,
+    "a class's join graph has no root: Phase 2 must split it",
+)
+def _no_root_path(context: LintContext) -> list[Finding]:
+    out: list[Finding] = []
+    for name, flow in sorted(context.flows.items()):
+        graph = JoinGraph.from_analysis(
+            context.schema,
+            flow.merged,
+            context.static_replicated,
+            implicit_edges=flow.implicit_edges,
+        )
+        if not graph.partitioned_tables or graph.find_roots():
+            continue
+        # Which single table, if replicated, would restore a root?
+        blockers: list[str] = []
+        for table in sorted(graph.partitioned_tables):
+            relaxed = JoinGraph(
+                graph.schema,
+                graph.tables,
+                graph.partitioned_tables - {table},
+                graph.fks,
+                graph.attr_pool,
+            )
+            if relaxed.find_roots():
+                blockers.append(table)
+        hint = (
+            "consider replicating "
+            + " or ".join(blockers)
+            + ", or add an explicit join connecting it"
+            if blockers
+            else "the graph splits into per-component partial solutions"
+        )
+        out.append(
+            _finding(
+                context,
+                "no-root-path",
+                "no attribute is reachable from every accessed table's "
+                "primary key — the class has no total solution and will "
+                "be split (Section 5.2, Case 2)",
+                procedure=name,
+                hint=hint,
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# solution rules (need a concrete partitioning)
+# ----------------------------------------------------------------------
+@rule(
+    "replicated-write",
+    Severity.ERROR,
+    "the class writes a table the solution replicates",
+    needs_solution=True,
+)
+def _replicated_write(context: LintContext) -> list[Finding]:
+    out: list[Finding] = []
+    for name, prediction in sorted(context.predictions.items()):
+        flow = context.flows[name]
+        for table in prediction.replicated_writes:
+            labels = sorted(
+                label
+                for label, analysis in zip(flow.labels, flow.analyses)
+                if table in analysis.writes
+            )
+            out.append(
+                _finding(
+                    context,
+                    "replicated-write",
+                    f"writes {table}, which the solution replicates — "
+                    "every call is distributed (Definition 5, condition 1)",
+                    procedure=name,
+                    statement=labels[0] if labels else None,
+                    hint=(
+                        f"partition {table} or accept the broadcast write"
+                    ),
+                )
+            )
+    return out
+
+
+@rule(
+    "forced-distributed",
+    Severity.ERROR,
+    "static dataflow pins the class's tables to independent values",
+    needs_solution=True,
+)
+def _forced_distributed(context: LintContext) -> list[Finding]:
+    out: list[Finding] = []
+    for name, prediction in sorted(context.predictions.items()):
+        if not prediction.distributed:
+            continue
+        out.append(
+            _finding(
+                context,
+                "forced-distributed",
+                "statically predicted distributed: "
+                + "; ".join(prediction.reasons),
+                procedure=name,
+                hint=(
+                    "make the independent values flow through one "
+                    "parameter/attribute chain, or re-root the affected "
+                    "tables"
+                ),
+            )
+        )
+    return out
+
+
+@rule(
+    "secondary-access-needs-lookup",
+    Severity.INFO,
+    "a table is accessed by attributes its placement does not hash",
+    needs_solution=True,
+)
+def _secondary_access(context: LintContext) -> list[Finding]:
+    out: list[Finding] = []
+    assert context.partitioning is not None
+    for name, flow in sorted(context.flows.items()):
+        constrained = equality_constrained_attrs(flow)
+        for table in sorted(flow.merged.tables):
+            solution = context.partitioning.solution_for(table)
+            if solution.replicated or solution.path is None:
+                continue
+            pinned = {a for a in constrained if a.table == table}
+            if not pinned:
+                continue
+            root = root_source_attr(solution.path)
+            if root is not None and root in constrained:
+                continue
+            out.append(
+                _finding(
+                    context,
+                    "secondary-access-needs-lookup",
+                    f"accesses {table} by "
+                    + ", ".join(str(a) for a in sorted(pinned))
+                    + (
+                        f" but rows are placed by {solution.attribute}"
+                        " — the router needs a secondary lookup table"
+                    ),
+                    procedure=name,
+                    hint=(
+                        "route via the placement attribute or rely on the "
+                        "routing tier's lookup tables"
+                    ),
+                )
+            )
+    return out

@@ -1,0 +1,180 @@
+"""``--validate``: score static forced-distributed predictions on traces.
+
+For each workload we compare the linter's static verdicts against the
+ground-truth dynamic evaluator (Definition 5) on the generated trace —
+under **two** partitionings:
+
+* the solution JECB itself produces (usually near-local: few positives),
+* an adversarial **re-rooted** variant where every partitioned table is
+  hashed by a different primary-key attribute than the one its JECB path
+  tracks. This manufactures genuinely distributed classes so the
+  precision/recall numbers are not vacuous.
+
+A class counts as *dynamically distributed* when its fraction of
+distributed transactions exceeds ``threshold`` (default 0: any distributed
+call makes the class positive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.join_path import JoinPath, root_source_attr
+from repro.core.mapping import HashMapping
+from repro.core.solution import DatabasePartitioning, TableSolution
+from repro.evaluation.evaluator import PartitioningEvaluator
+from repro.schema.database import DatabaseSchema
+from repro.storage.database import Database
+from repro.trace.events import Trace
+
+from repro.lint.predictor import DistributedPrediction
+
+
+@dataclass(frozen=True)
+class ClassVerdict:
+    """One class's static prediction vs. dynamic outcome."""
+
+    workload: str
+    variant: str
+    class_name: str
+    predicted: bool
+    actual: bool
+    distributed_fraction: float
+    reasons: tuple[str, ...] = ()
+
+    @property
+    def outcome(self) -> str:
+        if self.predicted and self.actual:
+            return "true-positive"
+        if self.predicted and not self.actual:
+            return "false-positive"
+        if not self.predicted and self.actual:
+            return "false-negative"
+        return "true-negative"
+
+
+@dataclass
+class ValidationReport:
+    """Aggregated precision/recall over every (variant, class) pair."""
+
+    threshold: float
+    verdicts: list[ClassVerdict] = field(default_factory=list)
+
+    def _count(self, outcome: str) -> int:
+        return sum(1 for v in self.verdicts if v.outcome == outcome)
+
+    @property
+    def precision(self) -> float:
+        tp = self._count("true-positive")
+        fp = self._count("false-positive")
+        return tp / (tp + fp) if tp + fp else 1.0
+
+    @property
+    def recall(self) -> float:
+        tp = self._count("true-positive")
+        fn = self._count("false-negative")
+        return tp / (tp + fn) if tp + fn else 1.0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "threshold": self.threshold,
+            "precision": round(self.precision, 6),
+            "recall": round(self.recall, 6),
+            "verdicts": [
+                {
+                    "workload": v.workload,
+                    "variant": v.variant,
+                    "class": v.class_name,
+                    "predicted": v.predicted,
+                    "actual": v.actual,
+                    "distributed_fraction": round(
+                        v.distributed_fraction, 6
+                    ),
+                    "outcome": v.outcome,
+                }
+                for v in sorted(
+                    self.verdicts,
+                    key=lambda v: (v.workload, v.variant, v.class_name),
+                )
+            ],
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"validation (threshold={self.threshold:g}): "
+            f"precision={self.precision:.3f} recall={self.recall:.3f}"
+        ]
+        for v in sorted(
+            self.verdicts,
+            key=lambda v: (v.workload, v.variant, v.class_name),
+        ):
+            lines.append(
+                f"  {v.workload}/{v.variant}/{v.class_name}: "
+                f"predicted={'distributed' if v.predicted else 'local'} "
+                f"actual={v.distributed_fraction:.1%} -> {v.outcome}"
+            )
+        return "\n".join(lines)
+
+
+def rerooted_variant(
+    partitioning: DatabasePartitioning, schema: DatabaseSchema
+) -> DatabasePartitioning:
+    """Adversarially re-root every partitioned table at a different PK attr.
+
+    Each partitioned table is hashed directly by one of its own primary-key
+    attributes, chosen as the first (sorted) attribute that differs from
+    the source attribute its original path tracked — e.g. TPC-C CUSTOMER
+    moves from ``C_W_ID`` to ``C_D_ID``. Replicated tables stay replicated.
+    """
+    variant = DatabasePartitioning(
+        partitioning.num_partitions, name=f"{partitioning.name}-rerooted"
+    )
+    mapping = HashMapping(partitioning.num_partitions)
+    for table in partitioning.tables:
+        solution = partitioning.solution_for(table)
+        if solution.replicated or solution.path is None:
+            variant.set(TableSolution(table))
+            continue
+        pk = sorted(schema.primary_key_attrs(table))
+        original = root_source_attr(solution.path)
+        chosen = next((a for a in pk if a != original), pk[0])
+        if len(pk) == 1:
+            path = JoinPath.build(schema, [pk])
+        else:
+            path = JoinPath.build(schema, [pk, [chosen]])
+        variant.set(TableSolution(table, path, mapping))
+    return variant
+
+
+def score_predictions(
+    workload: str,
+    variant: str,
+    predictions: dict[str, DistributedPrediction],
+    partitioning: DatabasePartitioning,
+    database: Database,
+    trace: Trace,
+    threshold: float,
+) -> list[ClassVerdict]:
+    """Dynamic per-class verdicts for one partitioning variant."""
+    evaluator = PartitioningEvaluator(database)
+    report = evaluator.evaluate(partitioning, trace)
+    out: list[ClassVerdict] = []
+    for class_name in sorted(report.per_class_total):
+        prediction = predictions.get(class_name)
+        fraction = report.class_cost(class_name)
+        out.append(
+            ClassVerdict(
+                workload=workload,
+                variant=variant,
+                class_name=class_name,
+                predicted=(
+                    prediction.distributed if prediction is not None else False
+                ),
+                actual=fraction > threshold,
+                distributed_fraction=fraction,
+                reasons=(
+                    prediction.reasons if prediction is not None else ()
+                ),
+            )
+        )
+    return out

@@ -1,0 +1,80 @@
+"""Registry of bundled benchmark workloads the linter can target."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.workloads.base import Benchmark
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """How to instantiate one bundled benchmark for linting."""
+
+    name: str
+    factory: Callable[[], Benchmark]
+    #: default trace size for --solution / --validate runs (scaled by
+    #: the CLI's --scale)
+    default_transactions: int
+
+
+def _tpcc() -> Benchmark:
+    from repro.workloads.tpcc import TpccBenchmark, TpccConfig
+
+    return TpccBenchmark(TpccConfig(warehouses=8))
+
+
+def _tatp() -> Benchmark:
+    from repro.workloads.tatp import TatpBenchmark, TatpConfig
+
+    return TatpBenchmark(TatpConfig(subscribers=1000))
+
+
+def _seats() -> Benchmark:
+    from repro.workloads.seats import SeatsBenchmark, SeatsConfig
+
+    return SeatsBenchmark(SeatsConfig())
+
+
+def _auctionmark() -> Benchmark:
+    from repro.workloads.auctionmark import (
+        AuctionMarkBenchmark,
+        AuctionMarkConfig,
+    )
+
+    return AuctionMarkBenchmark(AuctionMarkConfig())
+
+
+def _tpce() -> Benchmark:
+    from repro.workloads.tpce import TpceBenchmark, TpceConfig
+
+    return TpceBenchmark(TpceConfig())
+
+
+WORKLOADS: dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in (
+        WorkloadSpec("tpcc", _tpcc, 1200),
+        WorkloadSpec("tatp", _tatp, 1200),
+        WorkloadSpec("seats", _seats, 1000),
+        WorkloadSpec("auctionmark", _auctionmark, 1000),
+        WorkloadSpec("tpce", _tpce, 1200),
+    )
+}
+
+
+def resolve_workloads(selector: str) -> list[WorkloadSpec]:
+    """``all`` or a comma-separated list of registry names."""
+    if selector == "all":
+        return list(WORKLOADS.values())
+    out: list[WorkloadSpec] = []
+    for name in selector.split(","):
+        name = name.strip()
+        if name not in WORKLOADS:
+            known = ", ".join(sorted(WORKLOADS))
+            raise SystemExit(
+                f"unknown workload {name!r} (known: {known}, or 'all')"
+            )
+        out.append(WORKLOADS[name])
+    return out

@@ -23,7 +23,7 @@ from repro.core.solution import DatabasePartitioning
 from repro.procedures.procedure import ProcedureCatalog
 from repro.routing.lookup_table import LookupTable
 from repro.schema.attribute import Attr
-from repro.sql.analyzer import analyze_procedure
+from repro.sql.dataflow import analyze_dataflow
 from repro.storage.database import Database
 
 #: Broadcast causes recorded in :class:`RoutingMetrics.broadcast_causes`.
@@ -103,11 +103,14 @@ class Router:
         self._evaluator = JoinPathEvaluator(database)
         self._bindings: dict[str, list[tuple[Attr, str]]] = {}
         for procedure in catalog:
-            analysis = analyze_procedure(
-                procedure.statements, database.schema
-            )
+            # The dataflow closure adds (attr, param) pairs proven by
+            # transitive variable equality (SELECT @v = A WHERE A = @p; ...
+            # WHERE B = @v), letting calls route on attributes their SQL
+            # only constrains indirectly. Unknown parameter names are
+            # harmless: _route_plan skips params missing from arguments.
+            flow = analyze_dataflow(procedure, database.schema)
             self._bindings[procedure.name] = sorted(
-                analysis.param_bindings, key=lambda pair: (str(pair[0]), pair[1])
+                flow.param_closure, key=lambda pair: (str(pair[0]), pair[1])
             )
         self._lookups: OrderedDict[Attr, LookupTable] = OrderedDict()
         self._built_once: set[Attr] = set()

@@ -62,9 +62,13 @@ def _resolve(
 ) -> Attr:
     """Resolve a column reference against the statement's FROM tables.
 
-    Qualified references are checked directly. Bare names are looked up
-    among the FROM tables first; if absent there (the benchmarks never do
-    this, but user SQL might), fall back to a whole-schema lookup.
+    Qualified references are checked directly — callers must substitute
+    table aliases away first (see :func:`repro.sql.ast.dealias`), so by the
+    time a reference reaches this function its qualifier is a real schema
+    table even for aliased self-joins with aliases on both ON-clause sides.
+    Bare names are looked up among the FROM tables first; if absent there
+    (the benchmarks never do this, but user SQL might), fall back to a
+    whole-schema lookup.
     """
     if ref.table is not None:
         if not schema.has_table(ref.table):
@@ -103,7 +107,7 @@ def _analyze_predicates(
             elif isinstance(pred.right, ast.BinaryOp):
                 for ref in ast.expr_columns(pred.right):
                     out.where_attrs.add(_resolve(ref, schema, tables))
-            if left_col and right_col and pred.op == "=":
+            if left_col and right_col and pred.op == "=" and left != right:
                 out.explicit_joins.add(frozenset({left, right}))
             if pred.op == "=":
                 if left_col and isinstance(pred.right, ast.Param):
@@ -118,6 +122,10 @@ def _analyze_predicates(
             for value in pred.values or ():
                 if isinstance(value, ast.ColumnRef):
                     out.where_attrs.add(_resolve(value, schema, tables))
+                elif isinstance(value, ast.Param):
+                    # ``attr IN (1, @p, 2)``: @p constrains attr by equality
+                    # on a match, so it can route the call like ``= @p``.
+                    out.param_bindings.add((attr, value.name))
         else:  # BetweenPredicate
             out.where_attrs.add(_resolve(pred.column, schema, tables))
 
@@ -128,6 +136,7 @@ def analyze_statement(
     """Analyze one parsed statement against *schema*."""
     out = StatementAnalysis()
     if isinstance(statement, ast.Select):
+        statement = ast.dealias(statement)
         tables = list(statement.tables)
         out.tables |= set(tables)
         for item in statement.items:
@@ -137,7 +146,8 @@ def analyze_statement(
             left = _resolve(join.left, schema, tables)
             right = _resolve(join.right, schema, tables)
             out.where_attrs |= {left, right}
-            out.explicit_joins.add(frozenset({left, right}))
+            if left != right:
+                out.explicit_joins.add(frozenset({left, right}))
         _analyze_predicates(statement.where, schema, tables, out)
     elif isinstance(statement, ast.Insert):
         out.tables.add(statement.table)
@@ -146,6 +156,20 @@ def analyze_statement(
         for col in statement.columns:
             if not table.has_column(col):
                 raise AnalysisError(f"unknown column {statement.table}.{col}")
+        if statement.select is not None:
+            # INSERT ... SELECT: the source query is analyzed like any
+            # SELECT, and each inserted column *equals* its source item —
+            # an explicit value flow from source attribute to column.
+            out.merge(analyze_statement(statement.select, schema))
+            select = ast.dealias(statement.select)
+            sub_tables = list(select.tables)
+            for col, item in zip(statement.columns, select.items):
+                attr = Attr(statement.table, col)
+                out.where_attrs.add(attr)
+                if item.aggregate is None:
+                    src = _resolve(item.expr, schema, sub_tables)
+                    if src != attr:
+                        out.explicit_joins.add(frozenset({attr, src}))
         # The inserted key columns behave like WHERE attributes: the new
         # tuple's placement is decided by them.
         for col, value in zip(statement.columns, statement.values):

@@ -145,14 +145,16 @@ class SelectItem:
 
 @dataclass(frozen=True)
 class Join:
-    """``JOIN table ON left = right`` (equi-join only)."""
+    """``JOIN table [AS alias] ON left = right`` (equi-join only)."""
 
     table: str
     left: ColumnRef
     right: ColumnRef
+    alias: str | None = None
 
     def __str__(self) -> str:
-        return f"join {self.table} on {self.left} = {self.right}"
+        name = f"{self.table} {self.alias}" if self.alias else self.table
+        return f"join {name} on {self.left} = {self.right}"
 
 
 @dataclass(frozen=True)
@@ -176,18 +178,30 @@ class Select:
     order_by: OrderBy | None = None
     limit: int | None = None
     distinct: bool = False
+    table_alias: str | None = None
 
     @property
     def tables(self) -> tuple[str, ...]:
         """All tables in the FROM clause, base table first."""
         return (self.table,) + tuple(j.table for j in self.joins)
 
+    @property
+    def alias_map(self) -> dict[str, str]:
+        """alias (or table name) -> real table name, for resolution."""
+        out = {self.table_alias or self.table: self.table}
+        for join in self.joins:
+            out[join.alias or join.table] = join.table
+        return out
+
     def __str__(self) -> str:
+        base = (
+            f"{self.table} {self.table_alias}" if self.table_alias else self.table
+        )
         parts = [
             "SELECT "
             + ("DISTINCT " if self.distinct else "")
             + ", ".join(str(i) for i in self.items),
-            "FROM " + " ".join([self.table] + [str(j) for j in self.joins]),
+            "FROM " + " ".join([base] + [str(j) for j in self.joins]),
         ]
         if self.where:
             parts.append("WHERE " + " AND ".join(str(p) for p in self.where))
@@ -200,16 +214,26 @@ class Select:
 
 @dataclass(frozen=True)
 class Insert:
+    """``INSERT INTO t (cols) VALUES (...)`` or ``INSERT INTO t (cols) SELECT ...``.
+
+    Exactly one of ``values`` (non-empty) and ``select`` is populated.
+    """
+
     table: str
     columns: tuple[str, ...]
-    values: tuple[Expr, ...]
+    values: tuple[Expr, ...] = ()
+    select: Select | None = None
 
     @property
     def tables(self) -> tuple[str, ...]:
+        if self.select is not None:
+            return (self.table,) + self.select.tables
         return (self.table,)
 
     def __str__(self) -> str:
         cols = ", ".join(self.columns)
+        if self.select is not None:
+            return f"INSERT INTO {self.table} ({cols}) {self.select}"
         vals = ", ".join(str(v) for v in self.values)
         return f"INSERT INTO {self.table} ({cols}) VALUES ({vals})"
 
@@ -249,6 +273,89 @@ class Delete:
 
 
 Statement = Union[Select, Insert, Update, Delete]
+
+
+def _dealias_ref(ref: ColumnRef, amap: dict[str, str]) -> ColumnRef:
+    if ref.table is not None and amap.get(ref.table, ref.table) != ref.table:
+        return ColumnRef(ref.name, amap[ref.table])
+    return ref
+
+
+def _dealias_expr(expr: Expr, amap: dict[str, str]) -> Expr:
+    if isinstance(expr, ColumnRef):
+        return _dealias_ref(expr, amap)
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            _dealias_expr(expr.left, amap), expr.op, _dealias_expr(expr.right, amap)
+        )
+    return expr
+
+
+def _dealias_predicate(pred: Predicate, amap: dict[str, str]) -> Predicate:
+    if isinstance(pred, Comparison):
+        return Comparison(
+            _dealias_expr(pred.left, amap), pred.op, _dealias_expr(pred.right, amap)
+        )
+    if isinstance(pred, InPredicate):
+        values = (
+            None
+            if pred.values is None
+            else tuple(_dealias_expr(v, amap) for v in pred.values)
+        )
+        return InPredicate(_dealias_ref(pred.column, amap), values, pred.param)
+    return BetweenPredicate(
+        _dealias_ref(pred.column, amap),
+        _dealias_expr(pred.low, amap),
+        _dealias_expr(pred.high, amap),
+    )
+
+
+def dealias(select: Select) -> Select:
+    """Rewrite a SELECT so every qualified reference names a real table.
+
+    Table aliases introduced in FROM/JOIN (``FROM EMPLOYEE e JOIN EMPLOYEE
+    m ON e.MGR_ID = m.EMP_ID``) are substituted away and dropped, so the
+    analyzer and executor only ever see schema table names. References
+    qualified by a name that is not an alias are left untouched (they may
+    legitimately name a FROM table directly).
+    """
+    if select.table_alias is None and all(j.alias is None for j in select.joins):
+        return select
+    amap = select.alias_map
+    items = tuple(
+        SelectItem(
+            _dealias_ref(item.expr, amap),
+            aggregate=item.aggregate,
+            assign_to=item.assign_to,
+            alias=item.alias,
+        )
+        for item in select.items
+    )
+    joins = tuple(
+        Join(
+            j.table,
+            _dealias_ref(j.left, amap),
+            _dealias_ref(j.right, amap),
+        )
+        for j in select.joins
+    )
+    where = tuple(_dealias_predicate(p, amap) for p in select.where)
+    order_by = (
+        None
+        if select.order_by is None
+        else OrderBy(
+            _dealias_ref(select.order_by.column, amap), select.order_by.descending
+        )
+    )
+    return Select(
+        items,
+        select.table,
+        joins,
+        where,
+        order_by,
+        select.limit,
+        select.distinct,
+    )
 
 
 def predicate_columns(pred: Predicate) -> tuple[ColumnRef, ...]:

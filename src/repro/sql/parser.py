@@ -185,6 +185,19 @@ class _Parser:
             alias = self.parse_identifier()
         return ast.SelectItem(expr, aggregate=aggregate, assign_to=assign_to, alias=alias)
 
+    def _parse_table_with_alias(self) -> tuple[str, str | None]:
+        """``table [AS] [alias]`` — a bare identifier after the table name
+        is an alias (keywords like WHERE/JOIN/ON never tokenize as idents)."""
+        if self.current.type is TokenType.PUNCT and self.current.value == "(":
+            self._fail("subqueries in FROM are not supported")
+        table = self.parse_identifier()
+        alias: str | None = None
+        if self.accept_keyword("AS"):
+            alias = self.parse_identifier()
+        elif self.current.type is TokenType.IDENT:
+            alias = self.parse_identifier()
+        return table, alias
+
     def parse_select(self) -> ast.Select:
         self.expect_keyword("SELECT")
         distinct = self.accept_keyword("DISTINCT")
@@ -192,10 +205,10 @@ class _Parser:
         while self.accept_punct(","):
             items.append(self.parse_select_item())
         self.expect_keyword("FROM")
-        table = self.parse_identifier()
+        table, table_alias = self._parse_table_with_alias()
         joins: list[ast.Join] = []
         while self.accept_keyword("JOIN"):
-            join_table = self.parse_identifier()
+            join_table, join_alias = self._parse_table_with_alias()
             self.expect_keyword("ON")
             left = self.parse_column_ref()
             tok = self.current
@@ -203,7 +216,7 @@ class _Parser:
                 self._fail("JOIN ... ON requires an equality")
             self.advance()
             right = self.parse_column_ref()
-            joins.append(ast.Join(join_table, left, right))
+            joins.append(ast.Join(join_table, left, right, alias=join_alias))
         where = self.parse_where()
         order_by = None
         if self.accept_keyword("ORDER"):
@@ -223,7 +236,14 @@ class _Parser:
             self.advance()
             limit = int(tok.value)
         return ast.Select(
-            tuple(items), table, tuple(joins), where, order_by, limit, distinct
+            tuple(items),
+            table,
+            tuple(joins),
+            where,
+            order_by,
+            limit,
+            distinct,
+            table_alias,
         )
 
     # ------------------------------------------------------------------
@@ -238,6 +258,16 @@ class _Parser:
         while self.accept_punct(","):
             columns.append(self.parse_identifier())
         self.expect_punct(")")
+        if self.current.is_keyword("SELECT"):
+            select = self.parse_select()
+            if any(item.expr.name == "*" for item in select.items):
+                self._fail("INSERT ... SELECT cannot use *")
+            if len(select.items) != len(columns):
+                self._fail(
+                    f"INSERT has {len(columns)} columns but the SELECT "
+                    f"produces {len(select.items)}"
+                )
+            return ast.Insert(table, tuple(columns), select=select)
         self.expect_keyword("VALUES")
         self.expect_punct("(")
         values = [self.parse_expr()]

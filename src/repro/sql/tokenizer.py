@@ -49,7 +49,10 @@ def tokenize(text: str) -> list[Token]:
 
     Keywords are case-insensitive and normalized to upper case; identifiers
     keep their original spelling (TPC column names are upper case anyway).
-    ``--`` comments run to end of line.
+    ``--`` comments run to end of line; ``/* ... */`` block comments may
+    span lines (no nesting, like standard SQL). Double-quoted identifiers
+    (``"ORDER"``) are always identifiers, never keywords, with ``""``
+    escaping a literal double quote.
     """
     tokens: list[Token] = []
     i = 0
@@ -63,7 +66,33 @@ def tokenize(text: str) -> list[Token]:
             end = text.find("\n", i)
             i = n if end == -1 else end + 1
             continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end == -1:
+                raise SQLSyntaxError("unterminated block comment", i)
+            i = end + 2
+            continue
         start = i
+        if ch == '"':
+            j = i + 1
+            pieces: list[str] = []
+            while j < n:
+                if text[j] == '"':
+                    if j + 1 < n and text[j + 1] == '"':  # escaped quote
+                        pieces.append('"')
+                        j += 2
+                        continue
+                    break
+                pieces.append(text[j])
+                j += 1
+            if j >= n:
+                raise SQLSyntaxError("unterminated quoted identifier", i)
+            name = "".join(pieces)
+            if not name:
+                raise SQLSyntaxError("empty quoted identifier", i)
+            tokens.append(Token(TokenType.IDENT, name, start))
+            i = j + 1
+            continue
         if ch == "@":
             j = i + 1
             while j < n and (text[j].isalnum() or text[j] == "_"):

@@ -1,0 +1,119 @@
+"""Differential tests: witnessed implicit joins vs the old attribute pool.
+
+The def-use dataflow pass replaces the SELECT×WHERE cross-product
+heuristic for implicit-join discovery (Section 5.1). Witnessing is
+strictly more precise, so on every bundled workload the new candidate
+join sets must be subsets of the old ones — and the extra precision must
+not change the Figure-7 solutions: same per-class solution roots, same
+training cost.
+"""
+
+import pytest
+
+from repro.core.partitioner import JECBConfig, JECBPartitioner
+from repro.core.phase2 import Phase2Config, class_join_graph
+from repro.lint.workloads import WORKLOADS
+
+ALL_WORKLOADS = sorted(WORKLOADS)
+
+
+def class_graphs(benchmark, dataflow_joins):
+    schema = benchmark.build_schema()
+    catalog = benchmark.build_catalog()
+    config = Phase2Config(dataflow_joins=dataflow_joins)
+    return {
+        procedure.name: class_join_graph(schema, procedure, set(), config)
+        for procedure in catalog
+    }
+
+
+def fk_keys(graph):
+    return {(fk.table, fk.columns, fk.ref_table) for fk in graph.fks}
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_witnessed_joins_are_subset_of_pool_joins(name):
+    benchmark = WORKLOADS[name].factory()
+    old = class_graphs(benchmark, dataflow_joins=False)
+    new = class_graphs(benchmark, dataflow_joins=True)
+    assert old.keys() == new.keys()
+    for proc_name in old:
+        old_analysis, old_graph = old[proc_name]
+        new_analysis, new_graph = new[proc_name]
+        # The merged analysis feeding Phase 2 is unchanged...
+        assert new_analysis.tables == old_analysis.tables
+        assert new_analysis.where_attrs == old_analysis.where_attrs
+        assert new_analysis.select_attrs == old_analysis.select_attrs
+        assert new_analysis.param_bindings == old_analysis.param_bindings
+        # ...and witnessing only ever removes candidate joins.
+        assert fk_keys(new_graph) <= fk_keys(old_graph), proc_name
+
+
+def test_tpcc_dropped_joins_are_the_known_false_positives():
+    """Pin exactly which TPC-C candidate joins witnessing prunes.
+
+    NewOrder: OL_SUPPLY_W_ID and S_W_ID reference the *supplying*
+    warehouse, an independent parameter per order line — the old pool
+    conflated them with the home warehouse W_ID. Payment: the customer's
+    district columns never flow into a DISTRICT lookup (the paid district
+    is a separate parameter).
+    """
+    benchmark = WORKLOADS["tpcc"].factory()
+    old = class_graphs(benchmark, dataflow_joins=False)
+    new = class_graphs(benchmark, dataflow_joins=True)
+
+    def dropped(proc_name):
+        _, old_graph = old[proc_name]
+        _, new_graph = new[proc_name]
+        return fk_keys(old_graph) - fk_keys(new_graph)
+
+    assert dropped("NewOrder") == {
+        ("ORDER_LINE", ("OL_SUPPLY_W_ID",), "WAREHOUSE"),
+        ("STOCK", ("S_W_ID",), "WAREHOUSE"),
+    }
+    assert dropped("Payment") == {
+        ("CUSTOMER", ("C_W_ID", "C_D_ID"), "DISTRICT"),
+    }
+    for proc_name in ("Delivery", "OrderStatus", "StockLevel"):
+        assert dropped(proc_name) == set()
+
+
+@pytest.mark.parametrize("name", ["tpcc", "tatp"])
+def test_solutions_and_cost_unchanged(name):
+    """Witnessing must not change what Phase 2/3 decide.
+
+    Placement *paths* may legitimately differ where several cost-equal
+    paths exist (TPC-C's HISTORY can reach W_ID through CUSTOMER or
+    DISTRICT), so the pinned invariants are the per-class solution-root
+    sets and the training cost — not string equality of placements.
+    """
+    spec = WORKLOADS[name]
+    bundle = spec.factory().generate(
+        max(1, spec.default_transactions // 2), seed=17
+    )
+
+    def solve(dataflow_joins):
+        config = JECBConfig(
+            num_partitions=8,
+            phase2=Phase2Config(dataflow_joins=dataflow_joins),
+        )
+        return JECBPartitioner(bundle.database, bundle.catalog, config).run(
+            bundle.trace
+        )
+
+    old = solve(False)
+    new = solve(True)
+
+    for old_class, new_class in zip(old.class_results, new.class_results):
+        assert old_class.class_name == new_class.class_name
+        assert {s.root for s in old_class.total_solutions} == {
+            s.root for s in new_class.total_solutions
+        }, old_class.class_name
+        assert {s.root for s in old_class.partial_solutions} == {
+            s.root for s in new_class.partial_solutions
+        }, old_class.class_name
+
+    assert new.cost == pytest.approx(old.cost)
+    assert set(new.partitioning.replicated_tables()) == set(
+        old.partitioning.replicated_tables()
+    )

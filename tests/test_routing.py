@@ -671,3 +671,59 @@ class TestBatchRouting:
         )
         assert observed == summary.total
         assert summary.total == len(CALL_BATTERY)
+
+
+class TestTransitiveRouting:
+    """A call routable only through the dataflow transitive closure.
+
+    The procedure constrains CUSTOMER.C_ID with a *local variable* whose
+    value is proven equal to the declared parameter (SELECT @cust = CA_C_ID
+    ... WHERE CA_C_ID = @cust_id). The analyzer's direct bindings cannot
+    route this; the router's dataflow closure can.
+    """
+
+    @pytest.fixture
+    def transitive_setup(self, figure1_db):
+        schema = figure1_db.schema
+        partitioning = DatabasePartitioning(2, name="by-customer")
+        partitioning.set(
+            TableSolution(
+                "CUSTOMER",
+                JoinPath.parse(schema, ["CUSTOMER.C_ID"]),
+                IdentityModMapping(2),
+            )
+        )
+        for replicated in ("CUSTOMER_ACCOUNT", "TRADE", "HOLDING_SUMMARY"):
+            partitioning.set(TableSolution(replicated))
+        procedure = StoredProcedure(
+            "TaxInfo",
+            params=["cust_id"],
+            statements={
+                "find": (
+                    "SELECT @cust = CA_C_ID FROM CUSTOMER_ACCOUNT "
+                    "WHERE CA_C_ID = @cust_id"
+                ),
+                "read": "SELECT C_TAX_ID FROM CUSTOMER WHERE C_ID = @cust",
+            },
+        )
+        router = Router(
+            figure1_db, ProcedureCatalog([procedure]), partitioning
+        )
+        yield schema, procedure, router
+        router.close()
+
+    def test_direct_bindings_alone_cannot_route(self, transitive_setup):
+        from repro.sql import analyze_procedure
+
+        schema, procedure, _router = transitive_setup
+        merged = analyze_procedure(procedure.statements, schema)
+        assert (Attr("CUSTOMER", "C_ID"), "cust_id") not in (
+            merged.param_bindings
+        )
+
+    def test_routes_via_transitive_binding(self, transitive_setup):
+        _schema, _procedure, router = transitive_setup
+        first = router.route("TaxInfo", {"cust_id": 1})
+        second = router.route("TaxInfo", {"cust_id": 2})
+        assert first.single_partition and second.single_partition
+        assert first.partitions != second.partitions

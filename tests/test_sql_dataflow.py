@@ -1,0 +1,400 @@
+"""Unit tests for the def-use dataflow pass (repro.sql.dataflow)."""
+
+import pytest
+
+from repro.schema import Attr
+from repro.sql.dataflow import (
+    analyze_dataflow,
+    analyze_statements_dataflow,
+)
+from repro.sql.parser import parse_statement
+
+from tests.conftest import build_custinfo_schema
+
+
+@pytest.fixture()
+def schema():
+    return build_custinfo_schema()
+
+
+def flow_of(sqls, schema, params=(), straight_line=True):
+    statements = [parse_statement(s) for s in sqls]
+    return analyze_statements_dataflow(
+        statements, schema, params=params, straight_line=straight_line
+    )
+
+
+CA_ID = Attr("CUSTOMER_ACCOUNT", "CA_ID")
+CA_C_ID = Attr("CUSTOMER_ACCOUNT", "CA_C_ID")
+C_ID = Attr("CUSTOMER", "C_ID")
+C_TAX = Attr("CUSTOMER", "C_TAX_ID")
+T_CA_ID = Attr("TRADE", "T_CA_ID")
+T_ID = Attr("TRADE", "T_ID")
+T_QTY = Attr("TRADE", "T_QTY")
+
+
+class TestDefsAndUses:
+    def test_select_assignment_is_definition(self, schema):
+        flow = flow_of(
+            ["SELECT @c = CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @a"],
+            schema,
+            params=("a",),
+        )
+        (definition,) = flow.definitions
+        assert definition.variable == "c"
+        assert definition.sources == (CA_C_ID,)
+        assert not definition.aggregate
+
+    def test_aggregate_definition_flagged(self, schema):
+        flow = flow_of(
+            ["SELECT @n = COUNT(T_ID) FROM TRADE WHERE T_CA_ID = @a"],
+            schema,
+            params=("a",),
+        )
+        (definition,) = flow.definitions
+        assert definition.aggregate
+
+    def test_where_equality_is_eq_use(self, schema):
+        flow = flow_of(
+            ["SELECT T_QTY FROM TRADE WHERE T_ID = @t"], schema, params=("t",)
+        )
+        (use,) = flow.uses
+        assert (use.variable, use.attr, use.kind) == ("t", T_ID, "eq")
+        assert use.is_equality
+
+    def test_range_use_is_not_equality(self, schema):
+        flow = flow_of(
+            ["SELECT T_QTY FROM TRADE WHERE T_ID > @t"], schema, params=("t",)
+        )
+        (use,) = flow.uses
+        assert use.kind == "range"
+        assert not use.is_equality
+
+    def test_insert_values_are_equality_uses(self, schema):
+        flow = flow_of(
+            ["INSERT INTO TRADE (T_ID, T_CA_ID) VALUES (@t, @ca)"],
+            schema,
+            params=("t", "ca"),
+        )
+        kinds = {(u.variable, u.attr): u.kind for u in flow.uses}
+        assert kinds == {
+            ("t", T_ID): "insert-value",
+            ("ca", T_CA_ID): "insert-value",
+        }
+
+    def test_update_set_expression_is_plain_read(self, schema):
+        flow = flow_of(
+            ["UPDATE TRADE SET T_QTY = T_QTY + @d WHERE T_ID = @t"],
+            schema,
+            params=("d", "t"),
+        )
+        by_var = {u.variable: u.kind for u in flow.uses}
+        assert by_var["d"] == "expr"  # transformed write, never a witness
+        assert by_var["t"] == "eq"
+
+
+class TestImplicitEdges:
+    def test_param_shared_by_two_statements_witnesses_edge(self, schema):
+        flow = flow_of(
+            [
+                "SELECT CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @a",
+                "SELECT T_QTY FROM TRADE WHERE T_CA_ID = @a",
+            ],
+            schema,
+            params=("a",),
+        )
+        assert frozenset({CA_ID, T_CA_ID}) in flow.implicit_edges
+
+    def test_distinct_params_witness_nothing(self, schema):
+        flow = flow_of(
+            [
+                "SELECT CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @a",
+                "SELECT T_QTY FROM TRADE WHERE T_CA_ID = @b",
+            ],
+            schema,
+            params=("a", "b"),
+        )
+        assert frozenset({CA_ID, T_CA_ID}) not in flow.implicit_edges
+
+    def test_select_into_variable_witnesses_downstream_use(self, schema):
+        # Example 3: SELECT @v = X ... ; ... WHERE Y = @v joins X to Y.
+        flow = flow_of(
+            [
+                "SELECT @c = CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @a",
+                "SELECT C_TAX_ID FROM CUSTOMER WHERE C_ID = @c",
+            ],
+            schema,
+            params=("a",),
+        )
+        assert frozenset({CA_C_ID, C_ID}) in flow.implicit_edges
+
+    def test_aggregate_definition_breaks_the_chain(self, schema):
+        flow = flow_of(
+            [
+                "SELECT @c = SUM(CA_C_ID) FROM CUSTOMER_ACCOUNT WHERE CA_ID = @a",
+                "SELECT C_TAX_ID FROM CUSTOMER WHERE C_ID = @c",
+            ],
+            schema,
+            params=("a",),
+        )
+        assert frozenset({CA_C_ID, C_ID}) not in flow.implicit_edges
+
+    def test_straight_line_redefinition_starts_new_version(self, schema):
+        # @v is overwritten before the second use: the first source must
+        # not be linked to the second use's attribute.
+        flow = flow_of(
+            [
+                "SELECT @v = CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @a",
+                "SELECT @v = T_CA_ID FROM TRADE WHERE T_ID = @t",
+                "SELECT C_TAX_ID FROM CUSTOMER WHERE C_ID = @v",
+            ],
+            schema,
+            params=("a", "t"),
+        )
+        assert frozenset({T_CA_ID, C_ID}) in flow.implicit_edges
+        assert frozenset({CA_C_ID, C_ID}) not in flow.implicit_edges
+
+    def test_glue_mode_merges_all_versions(self, schema):
+        # With glue the statements may run in any order/repetition, so both
+        # definitions can reach the use.
+        flow = flow_of(
+            [
+                "SELECT @v = CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @a",
+                "SELECT @v = T_CA_ID FROM TRADE WHERE T_ID = @t",
+                "SELECT C_TAX_ID FROM CUSTOMER WHERE C_ID = @v",
+            ],
+            schema,
+            params=("a", "t"),
+            straight_line=False,
+        )
+        assert frozenset({T_CA_ID, C_ID}) in flow.implicit_edges
+        assert frozenset({CA_C_ID, C_ID}) in flow.implicit_edges
+
+    def test_straight_line_use_before_def_not_linked(self, schema):
+        # The use at statement 0 happens before the only definition, so in
+        # straight-line mode the defined value cannot reach it.
+        flow = flow_of(
+            [
+                "SELECT C_TAX_ID FROM CUSTOMER WHERE C_ID = @v",
+                "SELECT @v = CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @a",
+            ],
+            schema,
+            params=("a",),
+        )
+        assert frozenset({CA_C_ID, C_ID}) not in flow.implicit_edges
+
+    def test_unknown_local_links_to_all_select_outputs_in_glue_mode(
+        self, schema
+    ):
+        # @x is glue-threaded: it may hold any row the glue read, so it is
+        # conservatively linked to every SELECT output attribute.
+        flow = flow_of(
+            [
+                "SELECT CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @a",
+                "SELECT C_TAX_ID FROM CUSTOMER WHERE C_ID = @x",
+            ],
+            schema,
+            params=("a",),
+            straight_line=False,
+        )
+        assert flow.unknown_locals == frozenset({"x"})
+        assert frozenset({CA_C_ID, C_ID}) in flow.implicit_edges
+
+    def test_edges_are_subset_of_accessed_pool(self, schema):
+        flow = flow_of(
+            [
+                "SELECT @c = CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @a",
+                "SELECT C_TAX_ID FROM CUSTOMER WHERE C_ID = @c",
+                "SELECT T_QTY FROM TRADE WHERE T_CA_ID = @z",
+            ],
+            schema,
+            params=("a",),
+            straight_line=False,
+        )
+        pool = flow.merged.accessed_attrs
+        for pair in flow.implicit_edges:
+            assert pair <= pool
+
+
+class TestTransitiveBindings:
+    def test_statement_local_equality_propagates_param(self, schema):
+        # SELECT @c = CA_C_ID ... WHERE CA_C_ID = @p proves @c = @p, so the
+        # later use of @c binds C_ID to the declared parameter p.
+        flow = flow_of(
+            [
+                "SELECT @c = CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_C_ID = @p",
+                "SELECT C_TAX_ID FROM CUSTOMER WHERE C_ID = @c",
+            ],
+            schema,
+            params=("p",),
+        )
+        assert (C_ID, "p") in flow.transitive_bindings
+        assert (C_ID, "p") in flow.param_closure
+
+    def test_different_source_attr_does_not_propagate(self, schema):
+        # The WHERE pins CA_ID, not the selected CA_C_ID: @c is NOT @p.
+        flow = flow_of(
+            [
+                "SELECT @c = CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @p",
+                "SELECT C_TAX_ID FROM CUSTOMER WHERE C_ID = @c",
+            ],
+            schema,
+            params=("p",),
+        )
+        assert (C_ID, "p") not in flow.transitive_bindings
+
+    def test_aggregate_does_not_propagate(self, schema):
+        flow = flow_of(
+            [
+                "SELECT @c = SUM(CA_C_ID) FROM CUSTOMER_ACCOUNT "
+                "WHERE CA_C_ID = @p",
+                "SELECT C_TAX_ID FROM CUSTOMER WHERE C_ID = @c",
+            ],
+            schema,
+            params=("p",),
+        )
+        assert (C_ID, "p") not in flow.transitive_bindings
+
+    def test_straight_line_overwrite_drops_stale_binding(self, schema):
+        flow = flow_of(
+            [
+                "SELECT @c = CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_C_ID = @p",
+                "SELECT @c = T_CA_ID FROM TRADE WHERE T_ID = @t",
+                "SELECT C_TAX_ID FROM CUSTOMER WHERE C_ID = @c",
+            ],
+            schema,
+            params=("p", "t"),
+        )
+        # After the overwrite @c equals the TRADE value, not @p.
+        assert (C_ID, "p") not in flow.transitive_bindings
+
+    def test_glue_mode_requires_all_definitions_to_agree(self, schema):
+        flow = flow_of(
+            [
+                "SELECT @c = CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_C_ID = @p",
+                "SELECT @c = T_CA_ID FROM TRADE WHERE T_ID = @t",
+                "SELECT C_TAX_ID FROM CUSTOMER WHERE C_ID = @c",
+            ],
+            schema,
+            params=("p", "t"),
+            straight_line=False,
+        )
+        # Glue may run either definition last: only the intersection of
+        # proven parameters survives, which here is empty.
+        assert (C_ID, "p") not in flow.transitive_bindings
+
+    def test_glue_mode_agreeing_definitions_propagate(self, schema):
+        flow = flow_of(
+            [
+                "SELECT @c = CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_C_ID = @p",
+                "SELECT @c = T_CA_ID FROM TRADE WHERE T_CA_ID = @p",
+                "SELECT C_TAX_ID FROM CUSTOMER WHERE C_ID = @c",
+            ],
+            schema,
+            params=("p",),
+            straight_line=False,
+        )
+        assert (C_ID, "p") in flow.transitive_bindings
+
+    def test_in_use_never_gets_transitive_binding(self, schema):
+        # @c holds a scalar; "IN @c" would treat it as a collection. The
+        # analyzer's direct bindings stay, but no transitive pair is added.
+        flow = flow_of(
+            [
+                "SELECT @c = CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_C_ID = @p",
+                "SELECT C_TAX_ID FROM CUSTOMER WHERE C_ID IN @c",
+            ],
+            schema,
+            params=("p",),
+        )
+        assert (C_ID, "p") not in flow.transitive_bindings
+
+    def test_chained_propagation(self, schema):
+        flow = flow_of(
+            [
+                "SELECT @a = CA_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @p",
+                "SELECT @b = T_CA_ID FROM TRADE WHERE T_CA_ID = @a",
+                "SELECT CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @b",
+            ],
+            schema,
+            params=("p",),
+            straight_line=False,
+        )
+        assert (T_CA_ID, "p") in flow.transitive_bindings
+        assert (CA_ID, "p") in flow.param_closure
+
+
+class TestDeadDefinitions:
+    def test_unused_definition_is_dead(self, schema):
+        flow = flow_of(
+            ["SELECT @c = CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @a"],
+            schema,
+            params=("a",),
+        )
+        assert [d.variable for d in flow.dead_definitions] == ["c"]
+
+    def test_used_definition_is_live(self, schema):
+        flow = flow_of(
+            [
+                "SELECT @c = CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @a",
+                "SELECT C_TAX_ID FROM CUSTOMER WHERE C_ID = @c",
+            ],
+            schema,
+            params=("a",),
+        )
+        assert flow.dead_definitions == ()
+
+    def test_straight_line_overwritten_before_use_is_dead(self, schema):
+        flow = flow_of(
+            [
+                "SELECT @c = CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @a",
+                "SELECT @c = T_CA_ID FROM TRADE WHERE T_ID = @t",
+                "SELECT C_TAX_ID FROM CUSTOMER WHERE C_ID = @c",
+            ],
+            schema,
+            params=("a", "t"),
+        )
+        dead = [(d.variable, d.statement) for d in flow.dead_definitions]
+        assert dead == [("c", 0)]
+
+    def test_glue_mode_any_use_keeps_all_definitions(self, schema):
+        flow = flow_of(
+            [
+                "SELECT @c = CA_C_ID FROM CUSTOMER_ACCOUNT WHERE CA_ID = @a",
+                "SELECT @c = T_CA_ID FROM TRADE WHERE T_ID = @t",
+                "SELECT C_TAX_ID FROM CUSTOMER WHERE C_ID = @c",
+            ],
+            schema,
+            params=("a", "t"),
+            straight_line=False,
+        )
+        assert flow.dead_definitions == ()
+
+
+class TestProcedureEntry:
+    def test_merged_matches_analyze_procedure(self, custinfo_procedure):
+        from repro.sql import analyze_procedure
+
+        schema = build_custinfo_schema()
+        flow = analyze_dataflow(custinfo_procedure, schema)
+        merged = analyze_procedure(custinfo_procedure.statements, schema)
+        assert flow.merged.tables == merged.tables
+        assert flow.merged.where_attrs == merged.where_attrs
+        assert flow.merged.select_attrs == merged.select_attrs
+        assert flow.merged.explicit_joins == merged.explicit_joins
+        assert flow.merged.param_bindings == merged.param_bindings
+        assert flow.merged.writes == merged.writes
+
+    def test_straight_line_tracks_procedure_body(self, custinfo_procedure):
+        schema = build_custinfo_schema()
+        flow = analyze_dataflow(custinfo_procedure, schema)
+        assert flow.straight_line == (custinfo_procedure.body is None)
+        assert flow.labels == tuple(custinfo_procedure.sql_text)
+
+    def test_labels_length_mismatch_rejected(self, schema):
+        with pytest.raises(ValueError):
+            analyze_statements_dataflow(
+                [parse_statement("SELECT C_TAX_ID FROM CUSTOMER")],
+                schema,
+                labels=["a", "b"],
+            )

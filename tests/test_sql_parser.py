@@ -181,8 +181,10 @@ class TestScriptsAndErrors:
         assert parse_statement("SELECT A FROM T;")
 
     def test_trailing_garbage_rejected(self):
+        # ``FROM T garbage`` would parse "garbage" as a table alias, so the
+        # trailing junk comes after an alias has already been consumed.
         with pytest.raises(SQLSyntaxError):
-            parse_statement("SELECT A FROM T garbage")
+            parse_statement("SELECT A FROM T t garbage")
 
     def test_unknown_statement(self):
         with pytest.raises(SQLSyntaxError):

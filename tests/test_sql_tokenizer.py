@@ -82,3 +82,62 @@ class TestTokenizer:
         tokens = tokenize("ab cd")
         assert tokens[0].position == 0
         assert tokens[1].position == 3
+
+
+class TestBlockComments:
+    def test_block_comment_skipped(self):
+        assert values("a /* comment */ b") == ["a", "b"]
+
+    def test_block_comment_multiline(self):
+        assert values("a /* line one\nline two */ b") == ["a", "b"]
+
+    def test_block_comment_between_tokens(self):
+        assert values("SELECT/*x*/A") == ["SELECT", "A"]
+
+    def test_adjacent_block_comments(self):
+        assert values("a /*1*//*2*/ b") == ["a", "b"]
+
+    def test_star_and_slash_inside(self):
+        assert values("a /* ** // * */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SQLSyntaxError) as err:
+            tokenize("a /* oops")
+        assert "block comment" in str(err.value)
+
+    def test_line_comment_inside_block_comment_ignored(self):
+        assert values("a /* -- still a block */ b") == ["a", "b"]
+
+
+class TestQuotedIdentifiers:
+    def test_basic(self):
+        tokens = tokenize('"Order"')
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "Order"
+
+    def test_keyword_becomes_identifier(self):
+        # A quoted keyword is an identifier, never a keyword token.
+        tokens = tokenize('"SELECT"')
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "SELECT"
+
+    def test_case_preserved(self):
+        assert values('"MixedCase"') == ["MixedCase"]
+
+    def test_escaped_quote(self):
+        tokens = tokenize('"a""b"')
+        assert tokens[0].value == 'a"b'
+
+    def test_spaces_allowed(self):
+        assert values('"two words"') == ["two words"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize('""')
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize('"oops')
+
+    def test_in_statement_position(self):
+        assert values('SELECT "A" FROM "T"') == ["SELECT", "A", "FROM", "T"]
